@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§4), printing paper-reported values next to this
+// build's measurements.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-scale N] [experiment ...]
+//
+// Experiments: table1 seeds crawl classifier boilerplate table2 table3
+// fig3 fig4 fig5 warstory fig6 pronouns table4 fig7 fig8 jsd all
+// (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"webtextie"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced quick configuration")
+	seed := flag.Uint64("seed", 0, "override the generation seed (0 = default)")
+	scale := flag.Int("scale", 0, "override the corpus scale factor (0 = default)")
+	flag.Parse()
+
+	cfg := webtextie.DefaultConfig()
+	if *quick {
+		cfg = webtextie.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Corpora.Seed = *seed
+	}
+	if *scale != 0 {
+		cfg.Corpora.ScaleFactor = *scale
+	}
+
+	exp := webtextie.NewExperiments(cfg)
+	runners := map[string]func() string{
+		"table1":      exp.Table1,
+		"seeds":       exp.SeedsExperiment,
+		"crawl":       exp.CrawlStats,
+		"classifier":  exp.ClassifierQuality,
+		"boilerplate": exp.BoilerplateQuality,
+		"table2":      exp.Table2,
+		"table3":      exp.Table3,
+		"fig3":        exp.Fig3,
+		"fig4":        exp.Fig4,
+		"fig5":        exp.Fig5,
+		"warstory":    exp.WarStory,
+		"fig6":        exp.Fig6,
+		"pronouns":    exp.Pronouns,
+		"table4":      exp.Table4,
+		"fig7":        exp.Fig7,
+		"fig8":        exp.Fig8,
+		"jsd":         exp.JSDReport,
+		"relations":   exp.RelationsReport,
+		"extensions":  exp.ExtensionsReport,
+	}
+	order := []string{
+		"table1", "seeds", "crawl", "classifier", "boilerplate", "table2",
+		"table3", "fig3", "fig4", "fig5", "warstory", "fig6", "pronouns",
+		"table4", "fig7", "fig8", "jsd", "relations", "extensions",
+	}
+
+	wanted := flag.Args()
+	if len(wanted) == 0 || (len(wanted) == 1 && wanted[0] == "all") {
+		wanted = order
+	}
+	for _, name := range wanted {
+		run, ok := runners[name]
+		if !ok {
+			var known []string
+			for k := range runners {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", name, known)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Println(run())
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

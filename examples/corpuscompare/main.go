@@ -1,0 +1,69 @@
+// Corpus comparison: the paper's motivating question — is there biomedical
+// knowledge on the web that is NOT in the scientific literature? (§4.3.2,
+// "annotation overlap and difference"). This example runs the content
+// analysis over all four corpora and reports web-only entity names, the
+// overlap partitions, and the distributional divergences.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"webtextie"
+	"webtextie/internal/eval"
+	"webtextie/internal/stats"
+)
+
+func main() {
+	fmt.Println("building system and analyzing all four corpora...")
+	sys := webtextie.New(webtextie.QuickConfig())
+	as, err := sys.AnalyzeAll(4)
+	if err != nil {
+		panic(err)
+	}
+
+	for _, et := range []webtextie.EntityType{webtextie.Disease, webtextie.Drug, webtextie.Gene} {
+		rel, irr, med, pmc := as.DistinctNameSets(webtextie.Dict, et)
+		o := eval.ComputeOverlap(rel, irr, med, pmc)
+
+		// Names found ONLY in the relevant web corpus: the candidate
+		// "knowledge on the web that is not in the literature".
+		var webOnly []string
+		for name := range rel {
+			if !med[name] && !pmc[name] && !irr[name] {
+				webOnly = append(webOnly, name)
+			}
+		}
+		sort.Strings(webOnly)
+
+		fmt.Printf("\n=== %s ===\n", et)
+		fmt.Printf("distinct names: relevant=%d irrelevant=%d medline=%d pmc=%d (union %d)\n",
+			len(rel), len(irr), len(med), len(pmc), o.Total)
+		fmt.Printf("relevant-web-only names: %d (%.1f%% of relevant)\n",
+			len(webOnly), 100*float64(len(webOnly))/float64(max(1, len(rel))))
+		for i, n := range webOnly {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(webOnly)-5)
+				break
+			}
+			fmt.Printf("  %q\n", n)
+		}
+
+		relD := as.ByKind[webtextie.Relevant].Distribution(webtextie.Dict, et)
+		fmt.Printf("JSD: rel-vs-irrel %.3f   rel-vs-medline %.3f   rel-vs-pmc %.3f\n",
+			stats.JSD(relD, as.ByKind[webtextie.Irrelevant].Distribution(webtextie.Dict, et)),
+			stats.JSD(relD, as.ByKind[webtextie.Medline].Distribution(webtextie.Dict, et)),
+			stats.JSD(relD, as.ByKind[webtextie.PMC].Distribution(webtextie.Dict, et)))
+	}
+
+	fmt.Println("\nconclusion (as in §4.3.2): the relevant crawl is distributionally closer")
+	fmt.Println("to the scientific literature than to the rejected pages, yet contributes")
+	fmt.Println("entity names absent from Medline and PMC.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module webtextie
+
+go 1.24

@@ -1,0 +1,180 @@
+// Package annot defines the stand-off annotation model shared by all IE
+// operators (§3.2): every analysis result is recorded "together with
+// information on document ID, sentence ID, and start/end positions" rather
+// than by mutating the text. Annotation stores support merging results from
+// multiple annotators (the IE package's annotation-merge operators, §3.1).
+package annot
+
+import "sort"
+
+// Kind classifies an annotation.
+type Kind string
+
+// The annotation kinds the pipeline produces.
+const (
+	KindSentence Kind = "sentence"
+	KindToken    Kind = "token"
+	KindPOS      Kind = "pos"
+	KindNegation Kind = "negation"
+	KindPronoun  Kind = "pronoun"
+	KindParen    Kind = "paren"
+	KindEntity   Kind = "entity"
+)
+
+// Annotation is one stand-off annotation.
+type Annotation struct {
+	// DocID identifies the document.
+	DocID string
+	// Sentence is the index of the containing sentence (-1 if unknown).
+	Sentence int
+	// Start/End are byte offsets into the document text.
+	Start, End int
+	// Kind classifies the annotation.
+	Kind Kind
+	// Value carries the payload: the POS tag, entity type, pronoun class,
+	// matched surface form, etc.
+	Value string
+	// Source names the producing annotator ("dict:gene", "ml:drug",
+	// "medpost", ...), so dictionary- and ML-produced entities remain
+	// distinguishable for Table 4 / Fig 7 / Fig 8.
+	Source string
+}
+
+// Covers reports whether a fully contains o.
+func (a Annotation) Covers(o Annotation) bool {
+	return a.Start <= o.Start && a.End >= o.End
+}
+
+// Overlaps reports whether the two spans intersect.
+func (a Annotation) Overlaps(o Annotation) bool {
+	return a.Start < o.End && o.Start < a.End
+}
+
+// Store is an ordered collection of annotations for one or more documents.
+// The zero value is usable.
+type Store struct {
+	anns   []Annotation
+	sorted bool
+}
+
+// Add appends one annotation.
+func (s *Store) Add(a Annotation) {
+	s.anns = append(s.anns, a)
+	s.sorted = false
+}
+
+// AddAll appends a batch.
+func (s *Store) AddAll(as []Annotation) {
+	s.anns = append(s.anns, as...)
+	s.sorted = false
+}
+
+// Len returns the number of annotations.
+func (s *Store) Len() int { return len(s.anns) }
+
+// All returns the annotations ordered by (DocID, Start, End, Kind).
+func (s *Store) All() []Annotation {
+	if !s.sorted {
+		sort.Slice(s.anns, func(i, j int) bool {
+			a, b := s.anns[i], s.anns[j]
+			if a.DocID != b.DocID {
+				return a.DocID < b.DocID
+			}
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			return a.Kind < b.Kind
+		})
+		s.sorted = true
+	}
+	return s.anns
+}
+
+// ByKind returns the annotations of one kind, ordered.
+func (s *Store) ByKind(k Kind) []Annotation {
+	var out []Annotation
+	for _, a := range s.All() {
+		if a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByDoc returns the annotations of one document, ordered.
+func (s *Store) ByDoc(docID string) []Annotation {
+	var out []Annotation
+	for _, a := range s.All() {
+		if a.DocID == docID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Merge combines several stores into a new one.
+func Merge(stores ...*Store) *Store {
+	out := &Store{}
+	for _, s := range stores {
+		out.AddAll(s.anns)
+	}
+	return out
+}
+
+// DedupeExact removes annotations identical in (DocID, span, Kind, Value),
+// keeping the first Source. This is the merge-annotations-with-different-
+// schemes operator applied to the common case of two taggers agreeing.
+func (s *Store) DedupeExact() *Store {
+	type key struct {
+		doc        string
+		start, end int
+		kind       Kind
+		value      string
+	}
+	seen := map[key]bool{}
+	out := &Store{}
+	for _, a := range s.All() {
+		k := key{a.DocID, a.Start, a.End, a.Kind, a.Value}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Add(a)
+	}
+	return out
+}
+
+// ResolveOverlaps keeps, among overlapping annotations of the same Kind in
+// the same document, only the longest (ties: earliest). This implements the
+// left-longest-match policy dictionary taggers need after variant matching.
+func (s *Store) ResolveOverlaps(kind Kind) *Store {
+	out := &Store{}
+	var current *Annotation
+	for _, a := range s.All() {
+		if a.Kind != kind {
+			out.Add(a)
+			continue
+		}
+		if current == nil {
+			c := a
+			current = &c
+			continue
+		}
+		if a.DocID == current.DocID && a.Overlaps(*current) {
+			if a.End-a.Start > current.End-current.Start {
+				*current = a
+			}
+			continue
+		}
+		out.Add(*current)
+		c := a
+		current = &c
+	}
+	if current != nil {
+		out.Add(*current)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package annot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndOrder(t *testing.T) {
+	s := &Store{}
+	s.Add(Annotation{DocID: "b", Start: 5, End: 9, Kind: KindEntity})
+	s.Add(Annotation{DocID: "a", Start: 10, End: 12, Kind: KindEntity})
+	s.Add(Annotation{DocID: "a", Start: 2, End: 4, Kind: KindEntity})
+	all := s.All()
+	if all[0].DocID != "a" || all[0].Start != 2 {
+		t.Errorf("order wrong: %+v", all)
+	}
+	if all[2].DocID != "b" {
+		t.Errorf("order wrong: %+v", all)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestCoversOverlaps(t *testing.T) {
+	a := Annotation{Start: 5, End: 15}
+	if !a.Covers(Annotation{Start: 6, End: 10}) {
+		t.Error("Covers failed")
+	}
+	if a.Covers(Annotation{Start: 6, End: 20}) {
+		t.Error("Covers too permissive")
+	}
+	if !a.Overlaps(Annotation{Start: 14, End: 30}) {
+		t.Error("Overlaps failed")
+	}
+	if a.Overlaps(Annotation{Start: 15, End: 20}) {
+		t.Error("touching spans are not overlapping")
+	}
+}
+
+func TestOverlapsSymmetricProperty(t *testing.T) {
+	err := quick.Check(func(a1, a2, b1, b2 uint8) bool {
+		x := Annotation{Start: int(min8(a1, a2)), End: int(max8(a1, a2)) + 1}
+		y := Annotation{Start: int(min8(b1, b2)), End: int(max8(b1, b2)) + 1}
+		return x.Overlaps(y) == y.Overlaps(x)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestByKindByDoc(t *testing.T) {
+	s := &Store{}
+	s.Add(Annotation{DocID: "d1", Kind: KindEntity, Start: 0, End: 1})
+	s.Add(Annotation{DocID: "d1", Kind: KindNegation, Start: 2, End: 3})
+	s.Add(Annotation{DocID: "d2", Kind: KindEntity, Start: 0, End: 1})
+	if got := len(s.ByKind(KindEntity)); got != 2 {
+		t.Errorf("ByKind = %d", got)
+	}
+	if got := len(s.ByDoc("d1")); got != 2 {
+		t.Errorf("ByDoc = %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := &Store{}, &Store{}
+	a.Add(Annotation{DocID: "x", Start: 0, End: 1})
+	b.Add(Annotation{DocID: "y", Start: 0, End: 1})
+	m := Merge(a, b)
+	if m.Len() != 2 {
+		t.Errorf("merged len = %d", m.Len())
+	}
+}
+
+func TestDedupeExact(t *testing.T) {
+	s := &Store{}
+	s.Add(Annotation{DocID: "d", Start: 0, End: 5, Kind: KindEntity, Value: "gene", Source: "dict"})
+	s.Add(Annotation{DocID: "d", Start: 0, End: 5, Kind: KindEntity, Value: "gene", Source: "ml"})
+	s.Add(Annotation{DocID: "d", Start: 0, End: 5, Kind: KindEntity, Value: "drug", Source: "ml"})
+	d := s.DedupeExact()
+	if d.Len() != 2 {
+		t.Errorf("deduped len = %d", d.Len())
+	}
+}
+
+func TestResolveOverlapsKeepsLongest(t *testing.T) {
+	s := &Store{}
+	s.Add(Annotation{DocID: "d", Start: 0, End: 3, Kind: KindEntity, Value: "short"})
+	s.Add(Annotation{DocID: "d", Start: 1, End: 10, Kind: KindEntity, Value: "long"})
+	s.Add(Annotation{DocID: "d", Start: 20, End: 25, Kind: KindEntity, Value: "separate"})
+	s.Add(Annotation{DocID: "d", Start: 0, End: 2, Kind: KindNegation, Value: "other-kind"})
+	r := s.ResolveOverlaps(KindEntity)
+	ents := r.ByKind(KindEntity)
+	if len(ents) != 2 {
+		t.Fatalf("entities after resolve = %d: %+v", len(ents), ents)
+	}
+	if ents[0].Value != "long" || ents[1].Value != "separate" {
+		t.Errorf("resolve kept: %+v", ents)
+	}
+	if len(r.ByKind(KindNegation)) != 1 {
+		t.Error("other kinds must pass through")
+	}
+}
+
+func TestResolveOverlapsAcrossDocs(t *testing.T) {
+	s := &Store{}
+	s.Add(Annotation{DocID: "a", Start: 0, End: 5, Kind: KindEntity, Value: "a1"})
+	s.Add(Annotation{DocID: "b", Start: 0, End: 5, Kind: KindEntity, Value: "b1"})
+	r := s.ResolveOverlaps(KindEntity)
+	if r.Len() != 2 {
+		t.Errorf("same-span different-doc annotations merged: %d", r.Len())
+	}
+}

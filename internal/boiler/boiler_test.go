@@ -1,0 +1,165 @@
+package boiler
+
+import (
+	"strings"
+	"testing"
+
+	"webtextie/internal/htmlkit"
+)
+
+const samplePage = `<html><head><title>Gene news</title>
+<script>track();</script></head><body>
+<nav><a href="/">Home</a> <a href="/news">News</a> <a href="/about">About</a> <a href="/contact">Contact</a></nav>
+<div class="ads"><a href="http://ads.example/click">Buy cheap pills now best price online today</a></div>
+<article>
+<p>Researchers reported today that the BRCA1 gene regulates a novel pathway
+involved in breast cancer progression, according to a large cohort study
+published this week in a major journal of molecular medicine.</p>
+<p>The study analyzed samples from more than two thousand patients and found
+significantly elevated expression levels in tumor tissue compared with
+healthy controls across all age groups examined by the investigators.</p>
+</article>
+<footer><a href="/privacy">Privacy</a> | <a href="/terms">Terms</a> | Copyright 2016</footer>
+</body></html>`
+
+func TestExtractKeepsArticleDropsChrome(t *testing.T) {
+	res := Default().Extract(samplePage)
+	if !strings.Contains(res.NetText, "BRCA1 gene regulates") {
+		t.Errorf("article text lost: %q", res.NetText)
+	}
+	if !strings.Contains(res.NetText, "two thousand patients") {
+		t.Errorf("second paragraph lost: %q", res.NetText)
+	}
+	for _, chrome := range []string{"Home", "Privacy", "cheap pills", "track()"} {
+		if strings.Contains(res.NetText, chrome) {
+			t.Errorf("boilerplate %q leaked into net text", chrome)
+		}
+	}
+	if res.ContentBlocks == 0 || res.ContentBlocks >= res.TotalBlocks {
+		t.Errorf("blocks: %d content of %d total", res.ContentBlocks, res.TotalBlocks)
+	}
+}
+
+func TestLinkDenseBlockIsBoilerplate(t *testing.T) {
+	c := Default()
+	blocks := []htmlkit.Block{
+		{Text: "a b c d e f g h i j k l m n o", Words: 15, LinkedWords: 15, Tag: "p"},
+	}
+	labels := c.Classify(blocks)
+	if labels[0].Content {
+		t.Error("fully-linked long block classified as content")
+	}
+}
+
+func TestLongProseIsContent(t *testing.T) {
+	c := Default()
+	blocks := []htmlkit.Block{
+		{Text: strings.Repeat("word ", 30), Words: 30, Tag: "p"},
+	}
+	if !c.Classify(blocks)[0].Content {
+		t.Error("long prose block classified as boilerplate")
+	}
+}
+
+func TestShortBlockBetweenContentKept(t *testing.T) {
+	c := Default()
+	blocks := []htmlkit.Block{
+		{Text: strings.Repeat("w ", 40), Words: 40, Tag: "p"},
+		{Text: strings.Repeat("w ", 8), Words: 8, Tag: "p"},
+		{Text: strings.Repeat("w ", 40), Words: 40, Tag: "p"},
+	}
+	labels := c.Classify(blocks)
+	if !labels[1].Content {
+		t.Error("sandwiched short block dropped")
+	}
+}
+
+func TestIsolatedShortBlockDropped(t *testing.T) {
+	c := Default()
+	blocks := []htmlkit.Block{
+		{Text: "short", Words: 1, Tag: "p"},
+	}
+	if c.Classify(blocks)[0].Content {
+		t.Error("isolated one-word block kept")
+	}
+}
+
+func TestTablesDroppedByDefault(t *testing.T) {
+	// §4.1: "tables and lists, which often contain valuable facts, are not
+	// recognized properly in many cases" — the stock rules drop them.
+	c := Default()
+	blocks := []htmlkit.Block{
+		{Text: strings.Repeat("cell ", 15), Words: 15, Tag: "td"},
+	}
+	if c.Classify(blocks)[0].Content {
+		t.Error("medium-length table cell kept by stock rules")
+	}
+	c.KeepTables = true
+	if !c.Classify(blocks)[0].Content {
+		t.Error("KeepTables ablation did not keep the cell")
+	}
+}
+
+func TestEmptyBlocksNeverContent(t *testing.T) {
+	c := Default()
+	labels := c.Classify([]htmlkit.Block{{Text: "", Words: 0}})
+	if labels[0].Content {
+		t.Error("empty block classified as content")
+	}
+}
+
+func TestWordOverlapPRPerfect(t *testing.T) {
+	p, r := WordOverlapPR("the quick brown fox", "the quick brown fox")
+	if p != 1 || r != 1 {
+		t.Errorf("P=%v R=%v, want 1,1", p, r)
+	}
+}
+
+func TestWordOverlapPRPartial(t *testing.T) {
+	// Extracted = half of gold plus one extra word.
+	p, r := WordOverlapPR("alpha beta extra", "alpha beta gamma delta")
+	if p < 0.6 || p > 0.7 {
+		t.Errorf("precision = %v, want 2/3", p)
+	}
+	if r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+}
+
+func TestWordOverlapPREmpty(t *testing.T) {
+	if p, r := WordOverlapPR("", ""); p != 1 || r != 1 {
+		t.Errorf("empty/empty = %v,%v", p, r)
+	}
+	if p, _ := WordOverlapPR("", "gold words"); p != 0 {
+		t.Errorf("empty extraction precision = %v", p)
+	}
+	if _, r := WordOverlapPR("some words", ""); r != 0 {
+		t.Errorf("empty gold recall = %v", r)
+	}
+}
+
+func TestWordOverlapCaseAndPunct(t *testing.T) {
+	p, r := WordOverlapPR("Hello, World.", "hello world")
+	if p != 1 || r != 1 {
+		t.Errorf("case/punct not normalized: P=%v R=%v", p, r)
+	}
+}
+
+func TestExtractMalformedInput(t *testing.T) {
+	// Must never panic and should still recover the prose.
+	res := Default().Extract("<div><p>" + strings.Repeat("meaningful content words here ", 10) + "<b>no closing tags at all")
+	if !strings.Contains(res.NetText, "meaningful content") {
+		t.Errorf("net text = %q", res.NetText)
+	}
+	if res.RepairStats.Total() == 0 {
+		t.Error("expected repairs on malformed input")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	b.SetBytes(int64(len(samplePage)))
+	c := Default()
+	for i := 0; i < b.N; i++ {
+		_ = c.Extract(samplePage)
+	}
+}

@@ -1,0 +1,177 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The BRCA1 gene, treated-with 42 mg/kg doses!")
+	want := []string{"the", "brca1", "gene", "treated", "with", "mg", "kg", "doses"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeDropsNumbersAndSingles(t *testing.T) {
+	got := Tokenize("a 1 22 333 bb")
+	if len(got) != 1 || got[0] != "bb" {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+func TestUntrainedReturnsHalf(t *testing.T) {
+	nb := New()
+	if p := nb.ProbRelevant("anything"); p != 0.5 {
+		t.Errorf("untrained prob = %v", p)
+	}
+}
+
+func TestLearnAndClassifyToy(t *testing.T) {
+	nb := New()
+	nb.Learn("gene protein mutation tumor patient", Relevant)
+	nb.Learn("gene expression pathway disease clinical", Relevant)
+	nb.Learn("cheap shoes free shipping sale discount", Irrelevant)
+	nb.Learn("football season team game score", Irrelevant)
+	if nb.Classify("the gene mutation in the patient") != Relevant {
+		t.Error("biomedical text classified irrelevant")
+	}
+	if nb.Classify("buy cheap shoes on sale") != Irrelevant {
+		t.Error("shopping text classified relevant")
+	}
+}
+
+func TestIncrementalLearning(t *testing.T) {
+	nb := New()
+	nb.Learn("alpha beta", Relevant)
+	nb.Learn("gamma delta", Irrelevant)
+	before := nb.ProbRelevant("epsilon zeta")
+	// Teach the model that "epsilon zeta" is relevant; probability must rise.
+	for i := 0; i < 5; i++ {
+		nb.Learn("epsilon zeta", Relevant)
+	}
+	after := nb.ProbRelevant("epsilon zeta")
+	if after <= before {
+		t.Errorf("incremental update had no effect: before=%v after=%v", before, after)
+	}
+}
+
+func TestThresholdTradesPrecisionForRecall(t *testing.T) {
+	examples := syntheticExamples(t, 400)
+	train, test := examples[:300], examples[300:]
+	low := Train(train, 0.3)
+	high := Train(train, 0.97)
+	qLow := Evaluate(low, test)
+	qHigh := Evaluate(high, test)
+	if qHigh.Precision() < qLow.Precision() {
+		t.Errorf("high threshold precision %.3f < low threshold %.3f",
+			qHigh.Precision(), qLow.Precision())
+	}
+	if qHigh.Recall() > qLow.Recall() {
+		t.Errorf("high threshold recall %.3f > low threshold %.3f",
+			qHigh.Recall(), qLow.Recall())
+	}
+}
+
+// syntheticExamples builds a balanced Medline-vs-web training set, exactly
+// the construction of §2.
+func syntheticExamples(t testing.TB, n int) []Example {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 100, Diseases: 100}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	r := rng.New(3)
+	out := make([]Example, 0, n)
+	for i := 0; i < n/2; i++ {
+		out = append(out, Example{Text: gen.Doc(r, textgen.Medline, fmt.Sprint("m", i)).Text, Class: Relevant})
+		out = append(out, Example{Text: gen.Doc(r, textgen.Irrelevant, fmt.Sprint("w", i)).Text, Class: Irrelevant})
+	}
+	return out
+}
+
+func TestCrossValidationQualityOnSyntheticCorpus(t *testing.T) {
+	// §4.1: "Our classifier achieved a precision of 98% at a recall of 83%
+	// in 10-fold cross validation." We require the same regime: high P & R.
+	q := CrossValidate(syntheticExamples(t, 600), 10, 0.5)
+	if q.Precision() < 0.9 {
+		t.Errorf("CV precision = %.3f, want > 0.9", q.Precision())
+	}
+	if q.Recall() < 0.8 {
+		t.Errorf("CV recall = %.3f, want > 0.8", q.Recall())
+	}
+}
+
+func TestQualityMetrics(t *testing.T) {
+	q := Quality{TP: 8, FP: 2, TN: 9, FN: 1}
+	if p := q.Precision(); p != 0.8 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := q.Recall(); r < 0.888 || r > 0.889 {
+		t.Errorf("recall = %v", r)
+	}
+	if a := q.Accuracy(); a != 0.85 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if f := q.F1(); f < 0.84 || f > 0.85 {
+		t.Errorf("f1 = %v", f)
+	}
+}
+
+func TestQualityDegenerate(t *testing.T) {
+	var q Quality
+	if q.Precision() != 1 || q.Recall() != 1 || q.Accuracy() != 1 || q.F1() != 1 {
+		t.Error("empty quality should be all-1 (vacuous)")
+	}
+	q2 := Quality{FN: 5}
+	if q2.Recall() != 0 {
+		t.Errorf("all-FN recall = %v", q2.Recall())
+	}
+}
+
+func TestQualityAdd(t *testing.T) {
+	a := Quality{TP: 1, FP: 2, TN: 3, FN: 4}
+	a.Add(Quality{TP: 10, FP: 20, TN: 30, FN: 40})
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	nb := New()
+	for i := 0; i < 5; i++ {
+		nb.Learn("tumor gene mutation tumor tumor", Relevant)
+		nb.Learn("shoes sale discount shoes shoes", Irrelevant)
+	}
+	top := nb.TopWords(Relevant, 2)
+	if len(top) == 0 {
+		t.Fatal("no top words")
+	}
+	for _, w := range top {
+		if w == "shoes" || w == "sale" {
+			t.Errorf("irrelevant indicator %q in relevant top words", w)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Relevant.String() != "relevant" || Irrelevant.String() != "irrelevant" {
+		t.Error("Class.String broken")
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	examples := syntheticExamples(b, 200)
+	nb := Train(examples, 0.5)
+	text := examples[0].Text
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nb.Classify(text)
+	}
+}

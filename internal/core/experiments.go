@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"webtextie/internal/textgen"
+)
+
+// Experiments lazily materializes the shared state the §4 experiments
+// need: the system (corpora + trained tools) and the full content analysis.
+// Every experiment method returns a formatted report comparing the paper's
+// reported values against this build's measurements.
+type Experiments struct {
+	cfg Config
+	sys *System
+	as  *AnalysisSet
+	reg *Registry
+}
+
+// NewExperiments prepares an experiment runner (nothing is built yet).
+func NewExperiments(cfg Config) *Experiments {
+	return &Experiments{cfg: cfg}
+}
+
+// NewExperimentsFromSystem wraps an already-built system (avoids a second
+// corpus build when the caller owns one).
+func NewExperimentsFromSystem(sys *System) *Experiments {
+	return &Experiments{cfg: sys.Cfg, sys: sys}
+}
+
+// System builds (once) and returns the system.
+func (e *Experiments) System() *System {
+	if e.sys == nil {
+		e.sys = NewSystem(e.cfg)
+	}
+	return e.sys
+}
+
+// Reg returns the shared operator registry.
+func (e *Experiments) Reg() *Registry {
+	if e.reg == nil {
+		e.reg = e.System().Registry()
+	}
+	return e.reg
+}
+
+// Analysis builds (once) and returns the four corpus analyses.
+func (e *Experiments) Analysis() *AnalysisSet {
+	if e.as == nil {
+		as, err := e.System().AnalyzeAll(4)
+		if err != nil {
+			panic(fmt.Sprintf("core: analysis failed: %v", err))
+		}
+		e.as = as
+	}
+	return e.as
+}
+
+// report is a small builder for aligned experiment output.
+type report struct {
+	b strings.Builder
+}
+
+func (r *report) title(s string) {
+	r.b.WriteString(s + "\n" + strings.Repeat("=", len(s)) + "\n")
+}
+
+func (r *report) section(s string) {
+	r.b.WriteString("\n" + s + "\n" + strings.Repeat("-", len(s)) + "\n")
+}
+
+func (r *report) line(format string, args ...any) {
+	fmt.Fprintf(&r.b, format+"\n", args...)
+}
+
+func (r *report) String() string { return r.b.String() }
+
+// corpusOrder returns analyses in Table 3/4 order.
+func (e *Experiments) corpusOrder() []*CorpusAnalysis {
+	as := e.Analysis()
+	out := make([]*CorpusAnalysis, 0, 4)
+	for _, kind := range textgen.CorpusKinds {
+		out = append(out, as.ByKind[kind])
+	}
+	return out
+}
+
+// sortedKeys returns map keys sorted (for deterministic report output).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

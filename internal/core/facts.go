@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"webtextie/internal/corpora"
+	"webtextie/internal/store"
+)
+
+// ExportFacts runs the analysis flow over a corpus and writes every
+// extracted entity mention as a store.Fact into chunked JSONL under dir —
+// the "structured fact database" end product of the pipeline (§1). It
+// returns the analysis and the number of facts written.
+func (s *System) ExportFacts(reg *Registry, c *corpora.Corpus, dop int,
+	dir string, chunkBytes int64) (*CorpusAnalysis, int64, error) {
+
+	w, err := store.NewWriter(dir, "facts-"+c.Kind.String(), chunkBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	var writeErr error
+	a, err := s.AnalyzeCorpusFunc(reg, c, dop, func(docID string, ents []EntityAnn) {
+		if writeErr != nil {
+			return
+		}
+		for _, e := range ents {
+			writeErr = w.Write(store.Fact{
+				DocID: docID, Corpus: c.Kind.String(),
+				Type: e.Type.String(), Method: e.Method.String(),
+				Surface: e.Surface, Start: e.Start, End: e.End,
+			})
+			if writeErr != nil {
+				return
+			}
+		}
+	})
+	if cerr := w.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = writeErr
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: exporting facts: %w", err)
+	}
+	return a, w.Records(), nil
+}

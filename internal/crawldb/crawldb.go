@@ -1,0 +1,180 @@
+// Package crawldb implements the crawl-state stores of the Nutch-style
+// architecture in Fig 1: the CrawlDB (the crawl frontier: URLs known but
+// not yet fetched, plus the fetch status of visited URLs) and the LinkDB
+// (the link-graph structure of crawled pages). Both are in-memory,
+// deterministic, and support the politeness constraints of §4.1: per-host
+// fetch lists capped at a configurable size "to prevent threads from
+// blocking each other" (the paper uses 500).
+package crawldb
+
+import "sort"
+
+// Status is the lifecycle state of a URL in the CrawlDB.
+type Status int
+
+const (
+	// Unfetched means the URL sits in the frontier.
+	Unfetched Status = iota
+	// Fetched means the URL was downloaded successfully.
+	Fetched
+	// Failed means the fetch errored (404, robots, bad scheme).
+	Failed
+	// Filtered means a pre-filter discarded the page (MIME/lang/length).
+	Filtered
+)
+
+// CrawlDB is the frontier and URL-status store. It is not safe for
+// concurrent use; the crawler serializes access (generate/fetch/update
+// cycles, as in Nutch).
+type CrawlDB struct {
+	status map[string]Status
+	// frontier holds unfetched URLs per host, FIFO within a host.
+	frontier map[string][]string
+	// hostOrder keeps deterministic iteration order over hosts.
+	hostOrder []string
+	pending   int
+}
+
+// New returns an empty CrawlDB.
+func New() *CrawlDB {
+	return &CrawlDB{status: map[string]Status{}, frontier: map[string][]string{}}
+}
+
+// Inject adds a URL to the frontier if it is unknown (the Nutch injector).
+// It returns true if the URL was new.
+func (db *CrawlDB) Inject(url, host string) bool {
+	if _, known := db.status[url]; known {
+		return false
+	}
+	db.status[url] = Unfetched
+	if _, ok := db.frontier[host]; !ok {
+		db.hostOrder = append(db.hostOrder, host)
+	}
+	db.frontier[host] = append(db.frontier[host], url)
+	db.pending++
+	return true
+}
+
+// SetStatus records the outcome of a fetch attempt.
+func (db *CrawlDB) SetStatus(url string, s Status) {
+	db.status[url] = s
+}
+
+// StatusOf returns a URL's status and whether it is known.
+func (db *CrawlDB) StatusOf(url string) (Status, bool) {
+	s, ok := db.status[url]
+	return s, ok
+}
+
+// Pending returns the number of URLs still in the frontier.
+func (db *CrawlDB) Pending() int { return db.pending }
+
+// Known returns the number of URLs ever seen.
+func (db *CrawlDB) Known() int { return len(db.status) }
+
+// FetchItem is one entry of a generated fetch list.
+type FetchItem struct {
+	URL  string
+	Host string
+}
+
+// Generate produces the next fetch list: up to maxPerHost URLs from each
+// host with pending work, up to total URLs overall. Hosts are visited in
+// injection order, which keeps runs deterministic. Generated URLs leave
+// the frontier immediately (they are "in flight").
+func (db *CrawlDB) Generate(total, maxPerHost int) []FetchItem {
+	if maxPerHost <= 0 {
+		maxPerHost = 500 // the paper's fetch-list cap (§4.1)
+	}
+	var out []FetchItem
+	for _, host := range db.hostOrder {
+		if len(out) >= total {
+			break
+		}
+		q := db.frontier[host]
+		n := maxPerHost
+		if n > len(q) {
+			n = len(q)
+		}
+		if rem := total - len(out); n > rem {
+			n = rem
+		}
+		for _, u := range q[:n] {
+			out = append(out, FetchItem{URL: u, Host: host})
+		}
+		db.frontier[host] = q[n:]
+		db.pending -= n
+	}
+	// Drop empty hosts from the order lazily.
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Counts returns the number of URLs per status.
+func (db *CrawlDB) Counts() map[Status]int {
+	out := map[Status]int{}
+	for _, s := range db.status {
+		out[s]++
+	}
+	return out
+}
+
+// LinkDB stores the directed link graph of crawled pages.
+type LinkDB struct {
+	// out maps a source URL to its out-link targets.
+	out map[string][]string
+	// inCount tracks in-degree per URL.
+	inCount map[string]int
+	edges   int
+}
+
+// NewLinkDB returns an empty LinkDB.
+func NewLinkDB() *LinkDB {
+	return &LinkDB{out: map[string][]string{}, inCount: map[string]int{}}
+}
+
+// AddLinks records the out-links of a crawled page (replacing any previous
+// record for the same source).
+func (l *LinkDB) AddLinks(src string, targets []string) {
+	if old, ok := l.out[src]; ok {
+		for _, t := range old {
+			l.inCount[t]--
+		}
+		l.edges -= len(old)
+	}
+	cp := make([]string, len(targets))
+	copy(cp, targets)
+	l.out[src] = cp
+	for _, t := range cp {
+		l.inCount[t]++
+	}
+	l.edges += len(cp)
+}
+
+// OutLinks returns the recorded out-links of a URL.
+func (l *LinkDB) OutLinks(src string) []string { return l.out[src] }
+
+// InDegree returns the number of recorded links pointing at a URL.
+func (l *LinkDB) InDegree(url string) int { return l.inCount[url] }
+
+// Pages returns all source URLs in sorted order.
+func (l *LinkDB) Pages() []string {
+	out := make([]string, 0, len(l.out))
+	for u := range l.out {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the total number of recorded links.
+func (l *LinkDB) Edges() int { return l.edges }
+
+// ForEach visits every (src, targets) pair in sorted source order.
+func (l *LinkDB) ForEach(fn func(src string, targets []string)) {
+	for _, src := range l.Pages() {
+		fn(src, l.out[src])
+	}
+}

@@ -1,0 +1,164 @@
+package crawldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInjectDedup(t *testing.T) {
+	db := New()
+	if !db.Inject("http://a.com/1", "a.com") {
+		t.Fatal("first inject rejected")
+	}
+	if db.Inject("http://a.com/1", "a.com") {
+		t.Fatal("duplicate inject accepted")
+	}
+	if db.Pending() != 1 || db.Known() != 1 {
+		t.Errorf("pending=%d known=%d", db.Pending(), db.Known())
+	}
+}
+
+func TestGenerateRespectsPerHostCap(t *testing.T) {
+	db := New()
+	for i := 0; i < 20; i++ {
+		db.Inject(fmt.Sprintf("http://a.com/%d", i), "a.com")
+		db.Inject(fmt.Sprintf("http://b.com/%d", i), "b.com")
+	}
+	list := db.Generate(100, 5)
+	perHost := map[string]int{}
+	for _, it := range list {
+		perHost[it.Host]++
+	}
+	if perHost["a.com"] != 5 || perHost["b.com"] != 5 {
+		t.Errorf("per-host counts: %v", perHost)
+	}
+	if db.Pending() != 30 {
+		t.Errorf("pending = %d, want 30", db.Pending())
+	}
+}
+
+func TestGenerateRespectsTotal(t *testing.T) {
+	db := New()
+	for i := 0; i < 50; i++ {
+		db.Inject(fmt.Sprintf("http://h%d.com/x", i), fmt.Sprintf("h%d.com", i))
+	}
+	list := db.Generate(7, 500)
+	if len(list) != 7 {
+		t.Errorf("generated %d, want 7", len(list))
+	}
+}
+
+func TestGenerateDrainsFrontier(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.Inject(fmt.Sprintf("http://a.com/%d", i), "a.com")
+	}
+	seen := map[string]bool{}
+	for {
+		list := db.Generate(3, 500)
+		if len(list) == 0 {
+			break
+		}
+		for _, it := range list {
+			if seen[it.URL] {
+				t.Fatalf("URL %s generated twice", it.URL)
+			}
+			seen[it.URL] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("drained %d URLs, want 10", len(seen))
+	}
+	if db.Pending() != 0 {
+		t.Errorf("pending = %d after drain", db.Pending())
+	}
+}
+
+func TestGenerateDeterministicOrder(t *testing.T) {
+	build := func() *CrawlDB {
+		db := New()
+		db.Inject("http://b.com/1", "b.com")
+		db.Inject("http://a.com/1", "a.com")
+		db.Inject("http://a.com/2", "a.com")
+		return db
+	}
+	l1 := build().Generate(10, 500)
+	l2 := build().Generate(10, 500)
+	if len(l1) != len(l2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	// Injection order preserved: b.com first.
+	if l1[0].Host != "b.com" {
+		t.Errorf("first host = %s, want b.com (injection order)", l1[0].Host)
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	db := New()
+	db.Inject("http://a.com/1", "a.com")
+	s, ok := db.StatusOf("http://a.com/1")
+	if !ok || s != Unfetched {
+		t.Fatalf("status = %v/%v", s, ok)
+	}
+	db.SetStatus("http://a.com/1", Fetched)
+	if s, _ := db.StatusOf("http://a.com/1"); s != Fetched {
+		t.Errorf("status = %v after SetStatus", s)
+	}
+	counts := db.Counts()
+	if counts[Fetched] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if _, ok := db.StatusOf("http://unknown/"); ok {
+		t.Error("unknown URL has status")
+	}
+}
+
+func TestLinkDB(t *testing.T) {
+	l := NewLinkDB()
+	l.AddLinks("http://a.com/1", []string{"http://b.com/1", "http://c.com/1"})
+	l.AddLinks("http://b.com/1", []string{"http://c.com/1"})
+	if l.Edges() != 3 {
+		t.Errorf("edges = %d", l.Edges())
+	}
+	if got := l.InDegree("http://c.com/1"); got != 2 {
+		t.Errorf("in-degree = %d", got)
+	}
+	if got := len(l.OutLinks("http://a.com/1")); got != 2 {
+		t.Errorf("out-links = %d", got)
+	}
+	pages := l.Pages()
+	if len(pages) != 2 || pages[0] != "http://a.com/1" {
+		t.Errorf("pages = %v", pages)
+	}
+}
+
+func TestLinkDBReplace(t *testing.T) {
+	l := NewLinkDB()
+	l.AddLinks("http://a.com/1", []string{"http://b.com/1"})
+	l.AddLinks("http://a.com/1", []string{"http://c.com/1", "http://d.com/1"})
+	if l.Edges() != 2 {
+		t.Errorf("edges = %d after replace", l.Edges())
+	}
+	if l.InDegree("http://b.com/1") != 0 {
+		t.Error("old target in-degree not decremented")
+	}
+	if l.InDegree("http://c.com/1") != 1 {
+		t.Error("new target in-degree wrong")
+	}
+}
+
+func TestLinkDBForEachSorted(t *testing.T) {
+	l := NewLinkDB()
+	l.AddLinks("http://z.com/1", nil)
+	l.AddLinks("http://a.com/1", nil)
+	var order []string
+	l.ForEach(func(src string, _ []string) { order = append(order, src) })
+	if len(order) != 2 || order[0] != "http://a.com/1" {
+		t.Errorf("ForEach order = %v", order)
+	}
+}

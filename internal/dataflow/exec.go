@@ -1,0 +1,178 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExecConfig controls plan execution.
+type ExecConfig struct {
+	// DoP is the number of worker goroutines per operator node.
+	DoP int
+	// ChannelBuffer sizes the inter-operator queues.
+	ChannelBuffer int
+}
+
+// DefaultExecConfig uses DoP 4.
+func DefaultExecConfig() ExecConfig { return ExecConfig{DoP: 4, ChannelBuffer: 64} }
+
+// NodeStats aggregates one node's execution counters.
+type NodeStats struct {
+	In, Out int64
+	// Errors counts records dropped by UDF errors — the paper's tools
+	// crash on degenerate input; the flow counts and continues (§5).
+	Errors int64
+	// InitTime is the one-time startup duration (dictionary loads).
+	InitTime time.Duration
+}
+
+// ExecStats describes one plan execution.
+type ExecStats struct {
+	// PerNode maps node id to its counters.
+	PerNode map[int]*NodeStats
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+}
+
+// TotalErrors sums UDF failures across nodes.
+func (s *ExecStats) TotalErrors() int64 {
+	var t int64
+	for _, ns := range s.PerNode {
+		t += ns.Errors
+	}
+	return t
+}
+
+// Execute runs the plan over the input records. Records are fed to every
+// node without inputs; the returned map holds the records that reached
+// each sink node (keyed by node id).
+func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.DoP <= 0 {
+		cfg.DoP = 1
+	}
+	if cfg.ChannelBuffer <= 0 {
+		cfg.ChannelBuffer = 64
+	}
+	start := time.Now()
+
+	stats := &ExecStats{PerNode: map[int]*NodeStats{}}
+	for _, n := range p.nodes {
+		stats.PerNode[n.id] = &NodeStats{}
+	}
+
+	// Topology.
+	readers := map[*Node][]*Node{}
+	for _, n := range p.nodes {
+		for _, in := range n.Inputs {
+			readers[in] = append(readers[in], n)
+		}
+	}
+	inCh := map[*Node]chan Record{}
+	upstreams := map[*Node]*sync.WaitGroup{}
+	for _, n := range p.nodes {
+		inCh[n] = make(chan Record, cfg.ChannelBuffer)
+		wg := &sync.WaitGroup{}
+		if len(n.Inputs) == 0 {
+			wg.Add(1) // the feeder
+		} else {
+			wg.Add(len(n.Inputs))
+		}
+		upstreams[n] = wg
+		go func(n *Node, wg *sync.WaitGroup) {
+			wg.Wait()
+			close(inCh[n])
+		}(n, wg)
+	}
+
+	// Sink collection.
+	sinkSet := map[*Node]bool{}
+	for _, s := range p.Sinks() {
+		sinkSet[s] = true
+	}
+	results := map[int][]Record{}
+	var resultsMu sync.Mutex
+
+	// Run the nodes.
+	var nodeWG sync.WaitGroup
+	for _, n := range p.nodes {
+		ns := stats.PerNode[n.id]
+		if n.Op.Init != nil {
+			t0 := time.Now()
+			if err := n.Op.Init(); err != nil {
+				return nil, nil, fmt.Errorf("dataflow: init %q: %w", n.Op.Name, err)
+			}
+			ns.InitTime = time.Since(t0)
+		}
+		outs := readers[n]
+		emit := func(rec Record) {
+			atomic.AddInt64(&ns.Out, 1)
+			if sinkSet[n] {
+				resultsMu.Lock()
+				results[n.id] = append(results[n.id], rec)
+				resultsMu.Unlock()
+				return
+			}
+			for i, r := range outs {
+				if i == len(outs)-1 {
+					inCh[r] <- rec
+				} else {
+					inCh[r] <- rec.Clone()
+				}
+			}
+		}
+		nodeWG.Add(1)
+		go func(n *Node, ns *NodeStats, emit Emit) {
+			defer nodeWG.Done()
+			var workerWG sync.WaitGroup
+			for w := 0; w < cfg.DoP; w++ {
+				workerWG.Add(1)
+				go func() {
+					defer workerWG.Done()
+					for rec := range inCh[n] {
+						atomic.AddInt64(&ns.In, 1)
+						if err := n.Op.Fn(rec, emit); err != nil {
+							if err != ErrStopFlow {
+								atomic.AddInt64(&ns.Errors, 1)
+							}
+						}
+					}
+				}()
+			}
+			workerWG.Wait()
+			// Signal downstream that this upstream is done.
+			for _, r := range readers[n] {
+				upstreams[r].Done()
+			}
+		}(n, ns, emit)
+	}
+
+	// Feed sources. With several source nodes, each gets its own copy of
+	// the records so concurrent operators never share mutable maps.
+	var sources []*Node
+	for _, n := range p.nodes {
+		if len(n.Inputs) == 0 {
+			sources = append(sources, n)
+		}
+	}
+	for si, n := range sources {
+		go func(n *Node, cloneAll bool) {
+			for _, rec := range input {
+				if cloneAll {
+					inCh[n] <- rec.Clone()
+				} else {
+					inCh[n] <- rec
+				}
+			}
+			upstreams[n].Done()
+		}(n, si < len(sources)-1)
+	}
+
+	nodeWG.Wait()
+	stats.Wall = time.Since(start)
+	return results, stats, nil
+}

@@ -1,0 +1,144 @@
+package dataflow
+
+// The logical optimizer, after SOFA [23]: it rewrites linear operator
+// chains using the operators' semantic annotations. Two rules are
+// implemented, the ones that matter for the paper's flows:
+//
+//  1. selective-operator push-down: cheap filters move upstream past
+//     expensive operators whenever the field read/write sets commute,
+//     shrinking the data volume that reaches the heavyweight IE stages;
+//  2. cost-aware chain ordering: among commuting neighbours, the one with
+//     the smaller (selectivity-weighted) cost runs first.
+//
+// The optimizer only reorders within linear chains (single input, single
+// reader) — fan-in/fan-out boundaries are barriers, as in SOFA's operator
+// graphs.
+
+// Optimize returns a new plan with the rewrite rules applied. The input
+// plan is not modified.
+type OptimizeStats struct {
+	// Swaps is the number of pairwise reorderings applied.
+	Swaps int
+	// Chains is the number of linear chains considered.
+	Chains int
+}
+
+// Optimize applies the rewrite rules in place and reports what it did.
+func Optimize(p *Plan) OptimizeStats {
+	var st OptimizeStats
+	for _, chain := range linearChains(p) {
+		st.Chains++
+		st.Swaps += reorderChain(chain)
+	}
+	return st
+}
+
+// linearChains finds maximal runs of nodes n1 <- n2 <- ... where each link
+// is single-input / single-reader.
+func linearChains(p *Plan) [][]*Node {
+	readers := map[*Node][]*Node{}
+	for _, n := range p.nodes {
+		for _, in := range n.Inputs {
+			readers[in] = append(readers[in], n)
+		}
+	}
+	inChain := map[*Node]bool{}
+	var chains [][]*Node
+	for _, n := range p.nodes {
+		if inChain[n] {
+			continue
+		}
+		// A chain starts at a node whose input link is not chainable.
+		if chainablePred(n, readers) != nil {
+			continue
+		}
+		var chain []*Node
+		cur := n
+		for cur != nil {
+			chain = append(chain, cur)
+			inChain[cur] = true
+			cur = chainableSucc(cur, readers)
+		}
+		if len(chain) > 1 {
+			chains = append(chains, chain)
+		}
+	}
+	return chains
+}
+
+// chainablePred returns the single chainable input of n, if any.
+func chainablePred(n *Node, readers map[*Node][]*Node) *Node {
+	if len(n.Inputs) != 1 {
+		return nil
+	}
+	in := n.Inputs[0]
+	if len(readers[in]) != 1 {
+		return nil
+	}
+	return in
+}
+
+// chainableSucc returns the single chainable reader of n, if any.
+func chainableSucc(n *Node, readers map[*Node][]*Node) *Node {
+	rs := readers[n]
+	if len(rs) != 1 {
+		return nil
+	}
+	succ := rs[0]
+	if len(succ.Inputs) != 1 {
+		return nil
+	}
+	return succ
+}
+
+// reorderChain bubble-sorts the chain's operators by the cost rule,
+// swapping only commuting neighbours. It rewires the Op pointers (node
+// identity and topology stay fixed, which keeps external references valid).
+func reorderChain(chain []*Node) int {
+	swaps := 0
+	ops := make([]*Op, len(chain))
+	for i, n := range chain {
+		ops[i] = n.Op
+	}
+	// Bubble sort bounded by chain length; only adjacent commuting swaps.
+	for pass := 0; pass < len(ops); pass++ {
+		moved := false
+		for i := 0; i+1 < len(ops); i++ {
+			a, b := ops[i], ops[i+1]
+			if !Commute(a, b) {
+				continue
+			}
+			if rank(b) < rank(a) {
+				ops[i], ops[i+1] = b, a
+				swaps++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for i, n := range chain {
+		n.Op = ops[i]
+	}
+	return swaps
+}
+
+// rank orders operators for the cost rule: strongly selective, cheap
+// operators first. Lower rank runs earlier.
+func rank(o *Op) float64 {
+	sel := o.Selectivity
+	if sel <= 0 {
+		sel = 1
+	}
+	cost := o.Cost.PerKBms
+	if cost <= 0 {
+		cost = 0.01
+	}
+	if o.Filter {
+		// Filters carry no rewrite risk and shrink volume: run as early as
+		// their dependencies allow. Rank below any non-filter.
+		return sel - 1 // in [-1, 0)
+	}
+	return cost * sel
+}

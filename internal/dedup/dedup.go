@@ -1,0 +1,174 @@
+// Package dedup implements near-duplicate detection for web text:
+// word-shingle MinHash signatures with LSH banding. Redundancy is one of
+// the §1 challenges of web data ("analyzing web data is not trivial due to
+// its scale, distribution, heterogeneity, redundancy, and questionable
+// quality"): mirrors, syndicated articles and boilerplate-shifted copies
+// survive exact-hash deduplication and inflate every frequency the content
+// analysis reports.
+//
+// The construction is the standard one: k-word shingles hashed to 64 bits,
+// an n-permutation MinHash signature (implemented as n independent
+// mix-functions over the shingle hashes), and an LSH index with b bands of
+// r rows (n = b·r) so that candidate pairs are only compared when they
+// collide in at least one band.
+package dedup
+
+import (
+	"strings"
+	"sync"
+)
+
+// SignatureSize is the number of MinHash components.
+const SignatureSize = 64
+
+// Signature is a document's MinHash sketch.
+type Signature [SignatureSize]uint64
+
+// mix64 is a strong 64-bit mixer (splitmix64 finalizer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashShingle hashes one shingle string.
+func hashShingle(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Shingles returns the hashed k-word shingles of text (lower-cased,
+// whitespace-tokenized). Texts shorter than k words yield one shingle.
+func Shingles(text string, k int) []uint64 {
+	if k <= 0 {
+		k = 3
+	}
+	words := strings.Fields(strings.ToLower(text))
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) <= k {
+		return []uint64{hashShingle(strings.Join(words, " "))}
+	}
+	out := make([]uint64, 0, len(words)-k+1)
+	for i := 0; i+k <= len(words); i++ {
+		out = append(out, hashShingle(strings.Join(words[i:i+k], " ")))
+	}
+	return out
+}
+
+// MinHash computes the signature of a shingle set.
+func MinHash(shingles []uint64) Signature {
+	var sig Signature
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	if len(shingles) == 0 {
+		return sig
+	}
+	for _, sh := range shingles {
+		for i := 0; i < SignatureSize; i++ {
+			// Per-component permutation: mix with a component-specific salt.
+			v := mix64(sh ^ (uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d))
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// Sketch computes the signature of a text directly.
+func Sketch(text string, shingleK int) Signature {
+	return MinHash(Shingles(text, shingleK))
+}
+
+// Similarity estimates the Jaccard similarity of the underlying shingle
+// sets from two signatures.
+func Similarity(a, b Signature) float64 {
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / SignatureSize
+}
+
+// Index is an LSH index over MinHash signatures, safe for concurrent use.
+type Index struct {
+	// Threshold is the similarity above which a document counts as a
+	// duplicate of an indexed one.
+	Threshold float64
+	bands     int
+	rows      int
+
+	mu      sync.Mutex
+	buckets []map[uint64][]int // per band: bucket-hash -> entry ids
+	ids     []string
+	sigs    []Signature
+}
+
+// NewIndex builds an index with the given duplicate threshold (0 < t < 1)
+// and 16 bands of 4 rows (a steep S-curve around ~0.5-0.7 similarity).
+func NewIndex(threshold float64) *Index {
+	const bands, rows = 16, 4
+	idx := &Index{Threshold: threshold, bands: bands, rows: rows,
+		buckets: make([]map[uint64][]int, bands)}
+	for i := range idx.buckets {
+		idx.buckets[i] = map[uint64][]int{}
+	}
+	return idx
+}
+
+// Len returns the number of indexed documents.
+func (x *Index) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.ids)
+}
+
+// bandHash hashes one band of the signature.
+func (x *Index) bandHash(sig Signature, band int) uint64 {
+	h := uint64(band) + 0x51_7c_c1_b7_27_22_0a_95
+	for r := 0; r < x.rows; r++ {
+		h = mix64(h ^ sig[band*x.rows+r])
+	}
+	return h
+}
+
+// AddOrFind checks the signature against the index; if a sufficiently
+// similar document exists, its id is returned with dup=true and nothing is
+// added. Otherwise the document is indexed.
+func (x *Index) AddOrFind(id string, sig Signature) (dupOf string, dup bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	seen := map[int]bool{}
+	for b := 0; b < x.bands; b++ {
+		h := x.bandHash(sig, b)
+		for _, cand := range x.buckets[b][h] {
+			if seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			if Similarity(sig, x.sigs[cand]) >= x.Threshold {
+				return x.ids[cand], true
+			}
+		}
+	}
+	entry := len(x.ids)
+	x.ids = append(x.ids, id)
+	x.sigs = append(x.sigs, sig)
+	for b := 0; b < x.bands; b++ {
+		h := x.bandHash(sig, b)
+		x.buckets[b][h] = append(x.buckets[b][h], entry)
+	}
+	return "", false
+}

@@ -1,0 +1,176 @@
+// Package eval provides the evaluation utilities the paper's quality
+// assessments need: exact-span precision/recall/F1 for entity annotation
+// against generator gold standards, and the four-set overlap partitions
+// behind Fig 8 (annotation overlap of distinct entity names across the
+// Relevant / Irrelevant / Medline / PMC corpora).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span identifies a labelled text region for matching.
+type Span struct {
+	Start, End int
+}
+
+// PRF holds precision/recall/F1 counts.
+type PRF struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), vacuously 1.
+func (q PRF) Precision() float64 {
+	if q.TP+q.FP == 0 {
+		return 1
+	}
+	return float64(q.TP) / float64(q.TP+q.FP)
+}
+
+// Recall returns TP/(TP+FN), vacuously 1.
+func (q PRF) Recall() float64 {
+	if q.TP+q.FN == 0 {
+		return 1
+	}
+	return float64(q.TP) / float64(q.TP+q.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q PRF) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates counts.
+func (q *PRF) Add(o PRF) { q.TP += o.TP; q.FP += o.FP; q.FN += o.FN }
+
+// ScoreSpans compares predicted spans against gold with exact matching.
+func ScoreSpans(gold, pred []Span) PRF {
+	gset := make(map[Span]bool, len(gold))
+	for _, g := range gold {
+		gset[g] = true
+	}
+	var q PRF
+	for _, p := range pred {
+		if gset[p] {
+			q.TP++
+			delete(gset, p)
+		} else {
+			q.FP++
+		}
+	}
+	q.FN = len(gset)
+	return q
+}
+
+// SetMembership is a bitmask over the four corpora for one entity name.
+type SetMembership uint8
+
+// Bit positions follow the paper's corpus order.
+const (
+	InRelevant SetMembership = 1 << iota
+	InIrrelevant
+	InMedline
+	InPMC
+)
+
+// regionNames maps non-empty membership masks to human-readable labels.
+func (m SetMembership) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var parts []string
+	if m&InRelevant != 0 {
+		parts = append(parts, "Rel")
+	}
+	if m&InIrrelevant != 0 {
+		parts = append(parts, "Irr")
+	}
+	if m&InMedline != 0 {
+		parts = append(parts, "Med")
+	}
+	if m&InPMC != 0 {
+		parts = append(parts, "PMC")
+	}
+	return strings.Join(parts, "∩")
+}
+
+// Overlap is the 15-region partition of a 4-set Venn diagram (Fig 8):
+// for each non-empty subset of corpora, the number of distinct names found
+// in exactly that subset.
+type Overlap struct {
+	// Region maps a membership mask (1..15) to its exclusive name count.
+	Region [16]int
+	// Total is the number of distinct names across all corpora.
+	Total int
+}
+
+// ComputeOverlap partitions distinct names by corpus membership. Each
+// argument is the distinct-name set extracted from one corpus.
+func ComputeOverlap(rel, irr, med, pmc map[string]bool) Overlap {
+	var o Overlap
+	all := map[string]SetMembership{}
+	mark := func(set map[string]bool, bit SetMembership) {
+		for name := range set {
+			all[name] |= bit
+		}
+	}
+	mark(rel, InRelevant)
+	mark(irr, InIrrelevant)
+	mark(med, InMedline)
+	mark(pmc, InPMC)
+	for _, m := range all {
+		o.Region[m]++
+	}
+	o.Total = len(all)
+	return o
+}
+
+// Share returns a region's share of all distinct names, in percent.
+func (o Overlap) Share(m SetMembership) float64 {
+	if o.Total == 0 {
+		return 0
+	}
+	return 100 * float64(o.Region[m]) / float64(o.Total)
+}
+
+// PairOverlapShare returns the fraction of corpus A's distinct names also
+// found in corpus B (the §4.3.2 "overlap of extracted names between
+// relevant and irrelevant documents is ... approximately 15%" figures).
+func PairOverlapShare(a, b map[string]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	inter := 0
+	for name := range a {
+		if b[name] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}
+
+// FormatVenn renders the non-zero regions as a sorted report table.
+func (o Overlap) FormatVenn() string {
+	type row struct {
+		mask  SetMembership
+		count int
+	}
+	var rows []row
+	for m := SetMembership(1); m < 16; m++ {
+		if o.Region[m] > 0 {
+			rows = append(rows, row{m, o.Region[m]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %8d  %6.2f%%\n", r.mask.String(), r.count, o.Share(r.mask))
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScoreSpans(t *testing.T) {
+	gold := []Span{{0, 5}, {10, 15}, {20, 25}}
+	pred := []Span{{0, 5}, {10, 14}, {30, 35}}
+	q := ScoreSpans(gold, pred)
+	if q.TP != 1 || q.FP != 2 || q.FN != 2 {
+		t.Errorf("PRF = %+v", q)
+	}
+	if q.Precision() != 1.0/3 {
+		t.Errorf("precision = %v", q.Precision())
+	}
+	if q.Recall() != 1.0/3 {
+		t.Errorf("recall = %v", q.Recall())
+	}
+	if q.F1() != 1.0/3 {
+		t.Errorf("f1 = %v", q.F1())
+	}
+}
+
+func TestScoreSpansDuplicatePredictions(t *testing.T) {
+	q := ScoreSpans([]Span{{0, 5}}, []Span{{0, 5}, {0, 5}})
+	if q.TP != 1 || q.FP != 1 {
+		t.Errorf("duplicate handling: %+v", q)
+	}
+}
+
+func TestPRFVacuous(t *testing.T) {
+	var q PRF
+	if q.Precision() != 1 || q.Recall() != 1 {
+		t.Error("vacuous PRF should be 1")
+	}
+}
+
+func TestPRFAdd(t *testing.T) {
+	q := PRF{TP: 1, FP: 2, FN: 3}
+	q.Add(PRF{TP: 10, FP: 20, FN: 30})
+	if q.TP != 11 || q.FP != 22 || q.FN != 33 {
+		t.Errorf("Add = %+v", q)
+	}
+}
+
+func set(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestComputeOverlap(t *testing.T) {
+	o := ComputeOverlap(
+		set("a", "b", "c"), // relevant
+		set("b"),           // irrelevant
+		set("c", "d"),      // medline
+		set("c", "e"),      // pmc
+	)
+	if o.Total != 5 {
+		t.Fatalf("total = %d", o.Total)
+	}
+	if o.Region[InRelevant] != 1 { // "a" only in relevant
+		t.Errorf("Rel-only = %d", o.Region[InRelevant])
+	}
+	if o.Region[InRelevant|InIrrelevant] != 1 { // "b"
+		t.Errorf("Rel∩Irr = %d", o.Region[InRelevant|InIrrelevant])
+	}
+	if o.Region[InRelevant|InMedline|InPMC] != 1 { // "c"
+		t.Errorf("Rel∩Med∩PMC = %d", o.Region[InRelevant|InMedline|InPMC])
+	}
+	if o.Region[InMedline] != 1 || o.Region[InPMC] != 1 { // "d", "e"
+		t.Errorf("singles: med=%d pmc=%d", o.Region[InMedline], o.Region[InPMC])
+	}
+}
+
+func TestOverlapShares(t *testing.T) {
+	o := ComputeOverlap(set("a", "b"), set("b"), nil, nil)
+	if got := o.Share(InRelevant); got != 50 {
+		t.Errorf("share = %v", got)
+	}
+	var empty Overlap
+	if empty.Share(InRelevant) != 0 {
+		t.Error("empty overlap share != 0")
+	}
+}
+
+func TestRegionSumsToTotal(t *testing.T) {
+	o := ComputeOverlap(set("a", "b", "c"), set("b", "x"), set("c", "y"), set("z"))
+	sum := 0
+	for m := 1; m < 16; m++ {
+		sum += o.Region[m]
+	}
+	if sum != o.Total {
+		t.Errorf("regions sum %d != total %d", sum, o.Total)
+	}
+}
+
+func TestPairOverlapShare(t *testing.T) {
+	a := set("x", "y", "z", "w")
+	b := set("x", "y", "q")
+	if got := PairOverlapShare(a, b); got != 0.5 {
+		t.Errorf("share = %v", got)
+	}
+	if PairOverlapShare(nil, b) != 0 {
+		t.Error("empty A share != 0")
+	}
+}
+
+func TestMembershipString(t *testing.T) {
+	if got := (InRelevant | InPMC).String(); got != "Rel∩PMC" {
+		t.Errorf("mask string = %q", got)
+	}
+	if got := SetMembership(0).String(); got != "none" {
+		t.Errorf("zero mask = %q", got)
+	}
+}
+
+func TestFormatVenn(t *testing.T) {
+	o := ComputeOverlap(set("a", "b"), set("b"), set("c"), nil)
+	out := o.FormatVenn()
+	if !strings.Contains(out, "Rel∩Irr") || !strings.Contains(out, "Med") {
+		t.Errorf("FormatVenn output:\n%s", out)
+	}
+}

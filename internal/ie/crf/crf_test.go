@@ -1,0 +1,300 @@
+package crf
+
+import (
+	"fmt"
+	"testing"
+
+	"webtextie/internal/nlp"
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+// fixture builds a shared lexicon/generator and trained gene tagger.
+type fixture struct {
+	lex  *textgen.Lexicon
+	gen  *textgen.Generator
+	gene *Tagger
+}
+
+var cached *fixture
+
+func getFixture(t testing.TB) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 400, Drugs: 120, Diseases: 120}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	r := rng.New(11)
+	var docs []*textgen.Doc
+	for i := 0; i < 400; i++ {
+		docs = append(docs, gen.Doc(r, textgen.Medline, fmt.Sprint("m", i)))
+	}
+	gene := Train(textgen.Gene, TrainingSentences(docs, textgen.Gene), DefaultConfig())
+	cached = &fixture{lex: lex, gen: gen, gene: gene}
+	return cached
+}
+
+// evalF1 measures exact-span F1 of a tagger on fresh documents of a corpus.
+func evalF1(t testing.TB, fx *fixture, tagger *Tagger, kind textgen.CorpusKind, n int) (p, r float64) {
+	t.Helper()
+	rg := rng.New(99)
+	var tp, fp, fn int
+	for i := 0; i < n; i++ {
+		d := fx.gen.Doc(rg, kind, fmt.Sprint("e", i))
+		gold := map[[2]int]bool{}
+		for _, m := range d.Mentions {
+			if m.Type == tagger.Entity {
+				gold[[2]int{m.Start, m.End}] = true
+			}
+		}
+		got := tagger.Extract(d.Text)
+		for _, m := range got {
+			if gold[[2]int{m.Start, m.End}] {
+				tp++
+				delete(gold, [2]int{m.Start, m.End})
+			} else {
+				fp++
+			}
+		}
+		fn += len(gold)
+	}
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	return p, r
+}
+
+func TestGeneTaggerQualityOnMedline(t *testing.T) {
+	fx := getFixture(t)
+	p, r := evalF1(t, fx, fx.gene, textgen.Medline, 60)
+	// "On such data, ML-based NER is clearly superior" (§5): the tagger
+	// must work well in-domain.
+	if p < 0.70 {
+		t.Errorf("Medline precision = %.3f, want >= 0.70", p)
+	}
+	if r < 0.70 {
+		t.Errorf("Medline recall = %.3f, want >= 0.70", r)
+	}
+}
+
+func TestMLBeatsDictionaryRecallOnOOV(t *testing.T) {
+	// §3.2: "ML-based extraction methods often show much improved recall"
+	// because dictionaries are incomplete. The CRF must find entities that
+	// are NOT in the curated dictionary.
+	fx := getFixture(t)
+	rg := rng.New(123)
+	foundOOV := 0
+	totalOOV := 0
+	for i := 0; i < 80; i++ {
+		d := fx.gen.Doc(rg, textgen.Medline, fmt.Sprint("o", i))
+		got := fx.gene.Extract(d.Text)
+		spans := map[[2]int]bool{}
+		for _, m := range got {
+			spans[[2]int{m.Start, m.End}] = true
+		}
+		for _, m := range d.Mentions {
+			if m.Type != textgen.Gene || m.Entry == nil || m.Entry.InDictionary {
+				continue
+			}
+			totalOOV++
+			if spans[[2]int{m.Start, m.End}] {
+				foundOOV++
+			}
+		}
+	}
+	if totalOOV == 0 {
+		t.Skip("no OOV gene mentions in sample")
+	}
+	recall := float64(foundOOV) / float64(totalOOV)
+	if recall < 0.5 {
+		t.Errorf("OOV recall = %.3f (%d/%d), want >= 0.5", recall, foundOOV, totalOOV)
+	}
+}
+
+func TestDomainShiftTLAFalsePositives(t *testing.T) {
+	// §4.3.2: on web text the Medline-trained gene tagger tags non-entity
+	// TLAs as genes. Count false-positive TLA matches on relevant-web docs.
+	fx := getFixture(t)
+	rg := rng.New(77)
+	tlaFPs := 0
+	for i := 0; i < 60; i++ {
+		d := fx.gen.Doc(rg, textgen.Relevant, fmt.Sprint("w", i))
+		gold := map[[2]int]bool{}
+		for _, m := range d.Mentions {
+			gold[[2]int{m.Start, m.End}] = true
+		}
+		for _, m := range fx.gene.Extract(d.Text) {
+			if IsTLA(m.Surface) && !gold[[2]int{m.Start, m.End}] {
+				tlaFPs++
+			}
+		}
+	}
+	if tlaFPs == 0 {
+		t.Error("no TLA false positives on web text — domain-shift pathology not reproduced")
+	}
+}
+
+func TestFilterTLAs(t *testing.T) {
+	ms := []Match{
+		{Surface: "FAQ"}, {Surface: "BRCA1"}, {Surface: "abc"}, {Surface: "TLA"},
+		{Surface: "AB"}, {Surface: "ABCD"},
+	}
+	got := FilterTLAs(ms)
+	if len(got) != 4 {
+		t.Fatalf("filtered = %+v", got)
+	}
+	for _, m := range got {
+		if m.Surface == "FAQ" || m.Surface == "TLA" {
+			t.Errorf("TLA %q survived", m.Surface)
+		}
+	}
+}
+
+func TestIsTLA(t *testing.T) {
+	cases := map[string]bool{
+		"FAQ": true, "TLA": true, "BRC": true,
+		"FA": false, "FAQS": false, "FaQ": false, "F1Q": false, "": false,
+	}
+	for s, want := range cases {
+		if IsTLA(s) != want {
+			t.Errorf("IsTLA(%q) != %v", s, want)
+		}
+	}
+}
+
+func TestExtractTokensBIO(t *testing.T) {
+	toks := []nlp.TokenSpan{
+		{Span: nlp.Span{Start: 0, End: 3}, Text: "The"},
+		{Span: nlp.Span{Start: 4, End: 9}, Text: "renal"},
+		{Span: nlp.Span{Start: 10, End: 19}, Text: "carcinoma"},
+		{Span: nlp.Span{Start: 20, End: 25}, Text: "cases"},
+	}
+	ms := ExtractTokens(toks, []Label{O, B, I, O})
+	if len(ms) != 1 || ms[0].Start != 4 || ms[0].End != 19 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	// I without preceding B starts a new mention (robustness).
+	ms = ExtractTokens(toks, []Label{I, O, B, B})
+	if len(ms) != 3 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	// Trailing mention is flushed.
+	ms = ExtractTokens(toks, []Label{O, O, O, B})
+	if len(ms) != 1 || ms[0].Start != 20 {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestTagStructuralConstraint(t *testing.T) {
+	fx := getFixture(t)
+	rg := rng.New(5)
+	for i := 0; i < 20; i++ {
+		d := fx.gen.Doc(rg, textgen.Medline, fmt.Sprint("c", i))
+		for _, s := range d.Sentences {
+			words := make([]string, len(s.Tokens))
+			for j, tok := range s.Tokens {
+				words[j] = tok.Text
+			}
+			labels := fx.gene.Tag(words)
+			for j, l := range labels {
+				if l == I && (j == 0 || labels[j-1] == O) {
+					t.Fatalf("I after O/start at %d in %v", j, labels)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	fx := getFixture(t)
+	if got := fx.gene.Tag(nil); got != nil {
+		t.Errorf("Tag(nil) = %v", got)
+	}
+	if got := fx.gene.Extract(""); len(got) != 0 {
+		t.Errorf("Extract(\"\") = %v", got)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 100, Drugs: 50, Diseases: 50}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	mk := func() *Tagger {
+		r := rng.New(42)
+		var docs []*textgen.Doc
+		for i := 0; i < 60; i++ {
+			docs = append(docs, gen.Doc(r, textgen.Medline, fmt.Sprint("d", i)))
+		}
+		return Train(textgen.Gene, TrainingSentences(docs, textgen.Gene), DefaultConfig())
+	}
+	a, b := mk(), mk()
+	if a.NumFeatures() != b.NumFeatures() {
+		t.Fatal("feature counts differ across identical trainings")
+	}
+	words := []string{"The", "BRCA1", "gene", "regulates", "growth", "."}
+	la, lb := a.Tag(words), b.Tag(words)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("decoding differs across identical trainings")
+		}
+	}
+}
+
+func TestShapeFeatureAblationReducesTLAFPs(t *testing.T) {
+	// Disabling shape features must reduce TLA false positives on web text
+	// (the §4.3.2 mechanism runs through shape generalization).
+	fx := getFixture(t)
+	rg := rng.New(13)
+	var docs []*textgen.Doc
+	for i := 0; i < 250; i++ {
+		docs = append(docs, fx.gen.Doc(rg, textgen.Medline, fmt.Sprint("m", i)))
+	}
+	cfg := DefaultConfig()
+	cfg.UseShapeFeatures = false
+	noShape := Train(textgen.Gene, TrainingSentences(docs, textgen.Gene), cfg)
+
+	countTLAFP := func(tg *Tagger) int {
+		rg := rng.New(14)
+		n := 0
+		for i := 0; i < 40; i++ {
+			d := fx.gen.Doc(rg, textgen.Relevant, fmt.Sprint("w", i))
+			gold := map[[2]int]bool{}
+			for _, m := range d.Mentions {
+				gold[[2]int{m.Start, m.End}] = true
+			}
+			for _, m := range tg.Extract(d.Text) {
+				if IsTLA(m.Surface) && !gold[[2]int{m.Start, m.End}] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	withShape := countTLAFP(fx.gene)
+	without := countTLAFP(noShape)
+	if without > withShape {
+		t.Errorf("shape ablation increased TLA FPs: %d -> %d", withShape, without)
+	}
+}
+
+func TestNumFeatures(t *testing.T) {
+	fx := getFixture(t)
+	// The perceptron stores only features touched by an update, so the
+	// count is far below the template cross-product but must be non-trivial.
+	if fx.gene.NumFeatures() < 200 {
+		t.Errorf("only %d features learned", fx.gene.NumFeatures())
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	fx := getFixture(b)
+	d := fx.gen.Doc(rng.New(55), textgen.Medline, "bench")
+	b.SetBytes(int64(len(d.Text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fx.gene.Extract(d.Text)
+	}
+}

@@ -1,0 +1,215 @@
+package dict
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+func TestFindBasic(t *testing.T) {
+	m := Build("disease", []string{"thymoma", "chronic pain", "nausea"}, DefaultOptions())
+	text := "Patients with thymoma reported nausea and chronic pain daily."
+	got := m.Find(text)
+	if len(got) != 3 {
+		t.Fatalf("matches = %+v", got)
+	}
+	for _, match := range got {
+		if text[match.Start:match.End] != match.Surface {
+			t.Errorf("span/surface mismatch: %+v", match)
+		}
+	}
+	if got[0].Surface != "thymoma" || got[1].Surface != "nausea" || got[2].Surface != "chronic pain" {
+		t.Errorf("order/content: %+v", got)
+	}
+}
+
+func TestWholeWordOnly(t *testing.T) {
+	m := Build("drug", []string{"aspirin"}, DefaultOptions())
+	// "aspirins" matches via the plural variant and the final bare
+	// "aspirin" matches; "aspirinX" must not.
+	if got := m.Find("aspirins-like compound aspirinX and aspirin."); len(got) != 2 {
+		t.Fatalf("matches = %+v", got)
+	}
+	m2 := Build("drug", []string{"aspirin"}, Options{CaseInsensitive: true})
+	if got := m2.Find("XaspirinY"); len(got) != 0 {
+		t.Fatalf("substring matched: %+v", got)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	m := Build("drug", []string{"Aspirin"}, DefaultOptions())
+	got := m.Find("ASPIRIN and aspirin and Aspirin")
+	if len(got) != 3 {
+		t.Fatalf("matches = %+v", got)
+	}
+	for _, match := range got {
+		if match.Canonical != "Aspirin" {
+			t.Errorf("canonical = %q", match.Canonical)
+		}
+	}
+}
+
+func TestCaseSensitiveOption(t *testing.T) {
+	m := Build("gene", []string{"BRCA1"}, Options{Variants: false, CaseInsensitive: false})
+	if got := m.Find("brca1 BRCA1"); len(got) != 1 {
+		t.Fatalf("matches = %+v", got)
+	}
+}
+
+func TestVariantExpansion(t *testing.T) {
+	m := Build("drug", []string{"beta-blocker"}, DefaultOptions())
+	got := m.Find("a beta-blocker and a beta blocker")
+	if len(got) != 2 {
+		t.Fatalf("hyphen/space variant: %+v", got)
+	}
+	for _, match := range got {
+		if match.Canonical != "beta-blocker" {
+			t.Errorf("canonical = %q", match.Canonical)
+		}
+	}
+	// No variants option.
+	m2 := Build("drug", []string{"beta-blocker"}, Options{Variants: false, CaseInsensitive: true})
+	if got := m2.Find("a beta blocker"); len(got) != 0 {
+		t.Fatalf("variants leaked: %+v", got)
+	}
+}
+
+func TestPluralVariant(t *testing.T) {
+	m := Build("disease", []string{"carcinoma"}, DefaultOptions())
+	if got := m.Find("multiple carcinomas found"); len(got) != 1 {
+		t.Fatalf("plural: %+v", got)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	m := Build("disease", []string{"pain", "chronic pain"}, DefaultOptions())
+	got := m.Find("suffering from chronic pain today")
+	if len(got) != 1 || got[0].Surface != "chronic pain" {
+		t.Fatalf("matches = %+v", got)
+	}
+}
+
+func TestOverlapSuppressed(t *testing.T) {
+	m := Build("x", []string{"renal carcinoma", "carcinoma cells"}, DefaultOptions())
+	got := m.Find("renal carcinoma cells")
+	if len(got) != 1 {
+		t.Fatalf("overlapping matches not resolved: %+v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := Build("x", nil, DefaultOptions())
+	if got := m.Find("anything at all"); len(got) != 0 {
+		t.Fatalf("empty dictionary matched: %+v", got)
+	}
+	m2 := Build("x", []string{"term"}, DefaultOptions())
+	if got := m2.Find(""); len(got) != 0 {
+		t.Fatalf("empty text matched: %+v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := Build("gene", []string{"BRCA1", "TP53", "beta-catenin"}, DefaultOptions())
+	st := m.Stats()
+	if st.Entries != 3 {
+		t.Errorf("entries = %d", st.Entries)
+	}
+	if st.Surfaces < 3 {
+		t.Errorf("surfaces = %d", st.Surfaces)
+	}
+	if st.Nodes < 10 {
+		t.Errorf("nodes = %d", st.Nodes)
+	}
+	if st.ApproxBytes() <= 0 {
+		t.Error("no memory estimate")
+	}
+	if st.BuildTime < 0 {
+		t.Error("negative build time")
+	}
+}
+
+func TestVariantsIncreaseAutomatonSize(t *testing.T) {
+	// The memory-vs-recall ablation: expansion must grow the automaton.
+	surfaces := []string{"alpha-synuclein", "beta-blocker", "tumor necrosis factor"}
+	with := Build("x", surfaces, DefaultOptions())
+	without := Build("x", surfaces, Options{Variants: false, CaseInsensitive: true})
+	if with.Stats().Nodes <= without.Stats().Nodes {
+		t.Errorf("variant automaton %d nodes <= plain %d",
+			with.Stats().Nodes, without.Stats().Nodes)
+	}
+}
+
+func TestLexiconScaleMatching(t *testing.T) {
+	// Build from a realistic synthetic dictionary and verify every
+	// in-dictionary canonical name is found in a carrier sentence.
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 2000, Drugs: 300, Diseases: 300}, 1.0)
+	m := Build("gene", lex.DictionarySurfaces(textgen.Gene), DefaultOptions())
+	checked := 0
+	for _, e := range lex.ByType(textgen.Gene)[:200] {
+		text := fmt.Sprintf("The %s gene was analyzed.", e.Name)
+		got := m.Find(text)
+		found := false
+		for _, match := range got {
+			if match.Surface == e.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("dictionary name %q not found in %q (got %+v)", e.Name, text, got)
+		}
+		checked++
+	}
+	if checked != 200 {
+		t.Fatalf("checked %d", checked)
+	}
+}
+
+func TestBuildCostGrowsWithDictionary(t *testing.T) {
+	// Startup-cost property behind Fig 5: bigger dictionaries → bigger
+	// automata. (Time is machine-dependent; nodes are the stable proxy.)
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 3000, Drugs: 100, Diseases: 100}, 1.0)
+	all := lex.DictionarySurfaces(textgen.Gene)
+	small := Build("g", all[:500], DefaultOptions())
+	big := Build("g", all, DefaultOptions())
+	if big.Stats().Nodes <= small.Stats().Nodes*2 {
+		t.Errorf("node growth too small: %d vs %d", big.Stats().Nodes, small.Stats().Nodes)
+	}
+}
+
+func TestFindLinearishScan(t *testing.T) {
+	// Find must terminate and be correct on adversarial repetitive input.
+	m := Build("x", []string{"aa", "aaa", "aaaa"}, Options{Variants: false, CaseInsensitive: true})
+	text := strings.Repeat("a", 200) + " " + strings.Repeat("ab ", 100)
+	got := m.Find(text)
+	// The 200-a run is one word: only a full-word match of length 200 could
+	// match, and no pattern is that long → the run yields nothing.
+	for _, match := range got {
+		if match.Surface == "" {
+			t.Fatal("empty match")
+		}
+	}
+}
+
+func BenchmarkBuildGeneDictionary(b *testing.B) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.DefaultLexiconSizes(), 1.0)
+	surfaces := lex.DictionarySurfaces(textgen.Gene)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build("gene", surfaces, DefaultOptions())
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.DefaultLexiconSizes(), 1.0)
+	m := Build("gene", lex.DictionarySurfaces(textgen.Gene), DefaultOptions())
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	d := gen.Doc(rng.New(9), textgen.Medline, "bench")
+	b.SetBytes(int64(len(d.Text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Find(d.Text)
+	}
+}

@@ -1,0 +1,93 @@
+package dict
+
+// Property test: the Aho-Corasick matcher must agree with a naive
+// reference implementation on random dictionaries and texts.
+
+import (
+	"strings"
+	"testing"
+
+	"webtextie/internal/rng"
+)
+
+// naiveFind is the O(text × dict) reference: whole-word, case-insensitive,
+// leftmost-longest.
+func naiveFind(text string, surfaces []string) []Match {
+	lower := strings.ToLower(text)
+	isWord := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+	}
+	var raw []Match
+	for _, s := range surfaces {
+		ls := strings.ToLower(s)
+		for from := 0; ; {
+			i := strings.Index(lower[from:], ls)
+			if i < 0 {
+				break
+			}
+			start := from + i
+			end := start + len(ls)
+			if (start == 0 || !isWord(lower[start-1])) &&
+				(end == len(lower) || !isWord(lower[end])) {
+				raw = append(raw, Match{Start: start, End: end,
+					Surface: text[start:end], Canonical: s})
+			}
+			from = start + 1
+		}
+	}
+	return resolveLongest(raw)
+}
+
+var pool = []string{"alpha", "beta", "gamma", "alphabet", "bet", "gam", "a1", "x-y"}
+
+func randomText(r *rng.RNG, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			b.WriteString(pool[r.Intn(len(pool))])
+		case 1:
+			b.WriteString("word")
+		case 2:
+			b.WriteString("Alpha")
+		case 3:
+			b.WriteByte(byte('a' + r.Intn(26)))
+		default:
+		}
+		if r.Bool(0.8) {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func TestMatcherAgreesWithReference(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 200; trial++ {
+		// Random dictionary subset (no variants: the reference does not
+		// model them).
+		var surfaces []string
+		for _, s := range pool {
+			if r.Bool(0.6) {
+				surfaces = append(surfaces, s)
+			}
+		}
+		if len(surfaces) == 0 {
+			continue
+		}
+		m := Build("t", surfaces, Options{Variants: false, CaseInsensitive: true})
+		text := randomText(r, 3+r.Intn(30))
+		got := m.Find(text)
+		want := naiveFind(text, surfaces)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d matches\ntext=%q\ndict=%v\ngot=%+v\nwant=%+v",
+				trial, len(got), len(want), text, surfaces, got, want)
+		}
+		for i := range got {
+			if got[i].Start != want[i].Start || got[i].End != want[i].End {
+				t.Fatalf("trial %d: match %d differs: %+v vs %+v\ntext=%q",
+					trial, i, got[i], want[i], text)
+			}
+		}
+	}
+}

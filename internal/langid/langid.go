@@ -1,0 +1,182 @@
+// Package langid implements character n-gram language identification, the
+// "n-gram based language filter" of the paper's crawler (§2.1): pages not
+// written in English are discarded because the downstream IE tools are
+// language-sensitive. The method is Cavnar-Trenkle rank-order profiles over
+// character trigrams, trained here on built-in seed text per language.
+package langid
+
+import (
+	"sort"
+	"strings"
+)
+
+// profileSize is the number of top n-grams kept per language profile.
+const profileSize = 300
+
+// Identifier scores text against a set of language profiles.
+type Identifier struct {
+	profiles map[string]map[string]int // lang -> ngram -> rank
+}
+
+// builtin seed text per language; a few hundred characters of common
+// function-word-rich prose is enough for trigram profiles to separate
+// European languages reliably.
+var builtinSeeds = map[string]string{
+	"en": `the of and to in is was for that it with as his on be at by this had
+not are but from or have an they which one you were all her she there would
+their we him been has when who will no more if out so up said what its about
+than into them can only other time new some could these two may first then do`,
+	"de": `der die und in den von zu das mit sich des auf für ist im dem nicht
+ein eine als auch es an werden aus er hat dass sie nach wird bei einer um am
+sind noch wie einem über einen so zum war haben nur oder aber vor zur bis mehr
+durch man sein wurde sei`,
+	"fr": `de la le et les des en un du une que est pour qui dans a par plus
+pas au sur ne se ce il sont la mais comme ou si leur y dont aux avec cette ces
+ses être fait elle deux même nous tout on ans entre sans autres après`,
+	"es": `de la que el en y a los se del las un por con no una su para es al
+lo como más pero sus le ya o este sí porque esta entre cuando muy sin sobre
+también me hasta hay donde quien desde todo nos durante todos uno les`,
+	"nl": `de het een en van in is dat op te zijn met voor niet aan er om ook
+als dan maar bij of uit nog worden door naar heeft hij ze wordt tot je mijn
+deze over zo kan geen hem dit onder tegen al waren veel meer doen moet`,
+}
+
+// New builds an identifier with the built-in language profiles.
+func New() *Identifier {
+	id := &Identifier{profiles: map[string]map[string]int{}}
+	for lang, seed := range builtinSeeds {
+		id.Train(lang, seed)
+	}
+	return id
+}
+
+// Train adds or replaces the profile for a language from sample text.
+func (id *Identifier) Train(lang, sample string) {
+	id.profiles[lang] = rankProfile(sample)
+}
+
+// Languages returns the known language codes, sorted.
+func (id *Identifier) Languages() []string {
+	out := make([]string, 0, len(id.profiles))
+	for l := range id.profiles {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rankProfile computes the rank-ordered trigram profile of text.
+func rankProfile(text string) map[string]int {
+	counts := ngramCounts(text)
+	type kv struct {
+		g string
+		n int
+	}
+	all := make([]kv, 0, len(counts))
+	for g, n := range counts {
+		all = append(all, kv{g, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].g < all[j].g
+	})
+	if len(all) > profileSize {
+		all = all[:profileSize]
+	}
+	ranks := make(map[string]int, len(all))
+	for i, e := range all {
+		ranks[e.g] = i
+	}
+	return ranks
+}
+
+func ngramCounts(text string) map[string]int {
+	norm := normalize(text)
+	counts := map[string]int{}
+	for i := 0; i+3 <= len(norm); i++ {
+		counts[norm[i:i+3]]++
+	}
+	return counts
+}
+
+// normalize lower-cases and collapses non-letters to single spaces so that
+// profiles capture letter sequences, not punctuation.
+func normalize(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	prevSpace := true
+	for _, r := range text {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + 32)
+			prevSpace = false
+		case r >= 'a' && r <= 'z' || r > 127:
+			b.WriteRune(r)
+			prevSpace = false
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return b.String()
+}
+
+// Identify returns the best-matching language and a confidence in (0, 1].
+// Short or empty inputs return ("", 0): the paper's crawler separately
+// drops too-short pages, so no guess is better than a wild one.
+func (id *Identifier) Identify(text string) (lang string, confidence float64) {
+	counts := ngramCounts(text)
+	if len(counts) < 10 {
+		return "", 0
+	}
+	doc := rankProfile(text)
+	best, second := "", ""
+	bestD, secondD := int(^uint(0)>>1), int(^uint(0)>>1)
+	for l, prof := range id.profiles {
+		d := outOfPlace(doc, prof)
+		if d < bestD {
+			second, secondD = best, bestD
+			best, bestD = l, d
+		} else if d < secondD {
+			second, secondD = l, d
+		}
+	}
+	_ = second
+	if best == "" {
+		return "", 0
+	}
+	// Confidence: relative margin between the best and second-best distance.
+	if secondD == 0 {
+		return best, 0
+	}
+	margin := float64(secondD-bestD) / float64(secondD)
+	return best, 0.5 + margin/2
+}
+
+// IsEnglish is the crawler's filter predicate.
+func (id *Identifier) IsEnglish(text string) bool {
+	lang, conf := id.Identify(text)
+	return lang == "en" && conf > 0.5
+}
+
+// outOfPlace is the Cavnar-Trenkle rank displacement distance.
+func outOfPlace(doc, prof map[string]int) int {
+	d := 0
+	for g, r := range doc {
+		pr, ok := prof[g]
+		if !ok {
+			d += profileSize
+			continue
+		}
+		if pr > r {
+			d += pr - r
+		} else {
+			d += r - pr
+		}
+	}
+	return d
+}

@@ -1,0 +1,101 @@
+package langid
+
+import "testing"
+
+var samples = map[string]string{
+	"en": `The patients were treated with the new drug and the results showed
+a significant reduction in tumor size across all groups that received the
+higher dose during the second phase of the clinical trial.`,
+	"de": `Die Patienten wurden mit dem neuen Medikament behandelt und die
+Ergebnisse zeigten eine deutliche Verringerung der Tumorgröße in allen
+Gruppen die während der zweiten Phase der Studie die höhere Dosis erhielten.`,
+	"fr": `Les patients ont été traités avec le nouveau médicament et les
+résultats ont montré une réduction significative de la taille des tumeurs
+dans tous les groupes qui ont reçu la dose la plus élevée pendant la phase.`,
+	"es": `Los pacientes fueron tratados con el nuevo medicamento y los
+resultados mostraron una reducción significativa del tamaño del tumor en
+todos los grupos que recibieron la dosis más alta durante la segunda fase.`,
+}
+
+func TestIdentifyKnownLanguages(t *testing.T) {
+	id := New()
+	for want, text := range samples {
+		got, conf := id.Identify(text)
+		if got != want {
+			t.Errorf("Identify(%s sample) = %q (conf %.2f), want %q", want, got, conf, want)
+		}
+		if conf <= 0.5 {
+			t.Errorf("%s: confidence %.2f too low", want, conf)
+		}
+	}
+}
+
+func TestIsEnglish(t *testing.T) {
+	id := New()
+	if !id.IsEnglish(samples["en"]) {
+		t.Error("English sample rejected")
+	}
+	if id.IsEnglish(samples["de"]) {
+		t.Error("German sample accepted as English")
+	}
+}
+
+func TestShortInputReturnsUnknown(t *testing.T) {
+	id := New()
+	if lang, conf := id.Identify("hi"); lang != "" || conf != 0 {
+		t.Errorf("short input = %q/%.2f, want empty", lang, conf)
+	}
+	if lang, _ := id.Identify(""); lang != "" {
+		t.Errorf("empty input = %q", lang)
+	}
+}
+
+func TestNonLetterInputReturnsUnknown(t *testing.T) {
+	id := New()
+	if lang, _ := id.Identify("12345 67890 !!! ??? ### 12345 67890"); lang != "" {
+		t.Errorf("numeric input identified as %q", lang)
+	}
+}
+
+func TestTrainNewLanguage(t *testing.T) {
+	id := New()
+	id.Train("xx", "zzq zzq zzq wqx wqx zzq qqz zzq wqx qqz zzq wqx zzq qqz")
+	got, _ := id.Identify("zzq wqx qqz zzq zzq wqx zzq qqz wqx zzq zzq wqx")
+	if got != "xx" {
+		t.Errorf("custom language = %q, want xx", got)
+	}
+}
+
+func TestLanguagesSorted(t *testing.T) {
+	langs := New().Languages()
+	if len(langs) < 5 {
+		t.Fatalf("only %d built-in languages", len(langs))
+	}
+	for i := 1; i < len(langs); i++ {
+		if langs[i-1] >= langs[i] {
+			t.Fatalf("languages not sorted: %v", langs)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := normalize("Hello, WORLD!  42"); got != "hello world" && got != "hello world " {
+		t.Errorf("normalize = %q", got)
+	}
+}
+
+func TestMixedTextMajorityWins(t *testing.T) {
+	id := New()
+	mixed := samples["en"] + " " + samples["en"] + " Bonjour le monde."
+	if got, _ := id.Identify(mixed); got != "en" {
+		t.Errorf("mostly-English mixed text = %q", got)
+	}
+}
+
+func BenchmarkIdentify(b *testing.B) {
+	id := New()
+	b.SetBytes(int64(len(samples["en"])))
+	for i := 0; i < b.N; i++ {
+		_, _ = id.Identify(samples["en"])
+	}
+}

@@ -1,0 +1,155 @@
+// Package ling implements the linguistic analysis of §3.2/§4.3.1: each
+// sentence is scanned "for occurrences of pronouns, negation, and
+// parenthesis using different sets of regular expressions, and each found
+// mention ... is added to the result set together with information on
+// document ID, sentence ID, and start/end positions".
+//
+// Negation detection follows the paper exactly: "a rather simple method ...
+// using a set of regular expressions to find mentions of the words not,
+// nor, and neither" (§4.3.1). Pronouns are counted in six classes.
+package ling
+
+import (
+	"regexp"
+	"strconv"
+
+	"webtextie/internal/annot"
+	"webtextie/internal/nlp"
+)
+
+// The regex sets. All are word-bounded and case-insensitive, compiled once.
+var (
+	negationRe = regexp.MustCompile(`(?i)\b(not|nor|neither)\b`)
+	parenRe    = regexp.MustCompile(`\(([^()]*)\)`)
+
+	pronounRes = []*regexp.Regexp{
+		regexp.MustCompile(`(?i)\b(he|she|it|they|we)\b`),
+		regexp.MustCompile(`(?i)\b(him|her|them|us)\b`),
+		regexp.MustCompile(`(?i)\b(his|its|their|our)\b`),
+		regexp.MustCompile(`(?i)\b(this|that|these|those)\b`),
+		regexp.MustCompile(`(?i)\b(which|who|whom|whose)\b`),
+		regexp.MustCompile(`(?i)\b(itself|themselves|himself|herself)\b`),
+	}
+)
+
+// PronounClassNames names the six classes in annotation values.
+var PronounClassNames = []string{
+	"subject", "object", "possessive", "demonstrative", "relative", "reflexive",
+}
+
+// Analyze scans a document's text and returns stand-off annotations for
+// negation particles, pronouns (per class), and parenthesized text.
+// Sentence indexes are assigned from the provided spans.
+func Analyze(docID, text string, sentences []nlp.Span) []annot.Annotation {
+	var out []annot.Annotation
+	sentAt := func(pos int) int {
+		for i, s := range sentences {
+			if pos >= s.Start && pos < s.End {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, m := range negationRe.FindAllStringIndex(text, -1) {
+		out = append(out, annot.Annotation{
+			DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+			Kind: annot.KindNegation, Value: text[m[0]:m[1]], Source: "ling",
+		})
+	}
+	// Reflexives must win over shorter overlapping matches ("her" inside
+	// "herself"), so scan classes from most specific to least and suppress
+	// overlaps.
+	type claim struct{ start, end int }
+	var claimed []claim
+	overlapsClaimed := func(s, e int) bool {
+		for _, c := range claimed {
+			if s < c.end && c.start < e {
+				return true
+			}
+		}
+		return false
+	}
+	order := []int{5, 4, 3, 2, 1, 0} // reflexive first, subject last
+	for _, class := range order {
+		for _, m := range pronounRes[class].FindAllStringIndex(text, -1) {
+			if overlapsClaimed(m[0], m[1]) {
+				continue
+			}
+			claimed = append(claimed, claim{m[0], m[1]})
+			out = append(out, annot.Annotation{
+				DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+				Kind: annot.KindPronoun, Value: PronounClassNames[class],
+				Source: "ling",
+			})
+		}
+	}
+	for _, m := range parenRe.FindAllStringIndex(text, -1) {
+		out = append(out, annot.Annotation{
+			DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+			Kind: annot.KindParen, Value: text[m[0]:m[1]], Source: "ling",
+		})
+	}
+	return out
+}
+
+// DocStats are per-document linguistic measurements, the inputs to the
+// Fig 6 distributions.
+type DocStats struct {
+	DocID string
+	// Chars is the document length in bytes (Fig 6a).
+	Chars int
+	// Sentences is the sentence count.
+	Sentences int
+	// MeanSentenceLen is the mean sentence length in characters (Fig 6b).
+	MeanSentenceLen float64
+	// Negations, Parens count mentions (Fig 6c and §4.3.1).
+	Negations, Parens int
+	// Pronouns counts mentions per class.
+	Pronouns [6]int
+}
+
+// NegPerSentence returns negations per sentence (incidence relative to
+// document length is Chars-normalized by callers).
+func (d DocStats) NegPerSentence() float64 {
+	if d.Sentences == 0 {
+		return 0
+	}
+	return float64(d.Negations) / float64(d.Sentences)
+}
+
+// Measure computes DocStats for a text using the package's analyzers.
+func Measure(docID, text string) DocStats {
+	sents := nlp.SplitSentences(text)
+	anns := Analyze(docID, text, sents)
+	st := DocStats{DocID: docID, Chars: len(text), Sentences: len(sents)}
+	var total int
+	for _, s := range sents {
+		total += s.Len()
+	}
+	if len(sents) > 0 {
+		st.MeanSentenceLen = float64(total) / float64(len(sents))
+	}
+	for _, a := range anns {
+		switch a.Kind {
+		case annot.KindNegation:
+			st.Negations++
+		case annot.KindParen:
+			st.Parens++
+		case annot.KindPronoun:
+			for i, n := range PronounClassNames {
+				if a.Value == n {
+					st.Pronouns[i]++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// FormatSentenceID renders a sentence index for report output.
+func FormatSentenceID(i int) string {
+	if i < 0 {
+		return "-"
+	}
+	return strconv.Itoa(i)
+}

@@ -1,0 +1,175 @@
+package ling
+
+import (
+	"testing"
+
+	"webtextie/internal/annot"
+	"webtextie/internal/nlp"
+)
+
+func analyze(text string) []annot.Annotation {
+	return Analyze("d", text, nlp.SplitSentences(text))
+}
+
+func count(anns []annot.Annotation, k annot.Kind) int {
+	n := 0
+	for _, a := range anns {
+		if a.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNegationDetection(t *testing.T) {
+	anns := analyze("The drug did not work. Neither dose nor schedule mattered.")
+	if got := count(anns, annot.KindNegation); got != 3 {
+		t.Errorf("negations = %d, want 3 (not, neither, nor)", got)
+	}
+}
+
+func TestNegationWordBoundary(t *testing.T) {
+	anns := analyze("The notation denotes nothing important.")
+	if got := count(anns, annot.KindNegation); got != 0 {
+		t.Errorf("negations = %d in text without negation words", got)
+	}
+}
+
+func TestNegationCaseInsensitive(t *testing.T) {
+	anns := analyze("Not a single case. NOR that one.")
+	if got := count(anns, annot.KindNegation); got != 2 {
+		t.Errorf("negations = %d, want 2", got)
+	}
+}
+
+func TestPronounClasses(t *testing.T) {
+	anns := analyze("They saw him. This works, which itself was their idea.")
+	classes := map[string]int{}
+	for _, a := range anns {
+		if a.Kind == annot.KindPronoun {
+			classes[a.Value]++
+		}
+	}
+	for _, want := range []string{"subject", "object", "demonstrative", "relative", "reflexive", "possessive"} {
+		if classes[want] == 0 {
+			t.Errorf("class %q not detected: %v", want, classes)
+		}
+	}
+}
+
+func TestReflexiveNotDoubleCounted(t *testing.T) {
+	anns := analyze("The cell divides itself.")
+	var values []string
+	for _, a := range anns {
+		if a.Kind == annot.KindPronoun {
+			values = append(values, a.Value)
+		}
+	}
+	if len(values) != 1 || values[0] != "reflexive" {
+		t.Errorf("pronouns = %v, want [reflexive] only ('it' inside 'itself' must not match)", values)
+	}
+}
+
+func TestParentheses(t *testing.T) {
+	anns := analyze("The result (p < 0.01) was clear (see Fig. 2).")
+	if got := count(anns, annot.KindParen); got != 2 {
+		t.Errorf("parens = %d, want 2", got)
+	}
+	for _, a := range anns {
+		if a.Kind == annot.KindParen {
+			if a.Value[0] != '(' || a.Value[len(a.Value)-1] != ')' {
+				t.Errorf("paren value %q not parenthesized", a.Value)
+			}
+		}
+	}
+}
+
+func TestUnbalancedParensIgnored(t *testing.T) {
+	anns := analyze("An open ( without close and a close ) alone.")
+	// The regex requires a balanced non-nested pair; "( without close and a
+	// close )" IS a balanced pair here, so exactly one match.
+	if got := count(anns, annot.KindParen); got != 1 {
+		t.Errorf("parens = %d", got)
+	}
+	if got := count(analyze("No parens at all."), annot.KindParen); got != 0 {
+		t.Errorf("spurious paren match: %d", got)
+	}
+}
+
+func TestSentenceIDsAssigned(t *testing.T) {
+	text := "First has not one. Second has neither."
+	anns := analyze(text)
+	negs := []annot.Annotation{}
+	for _, a := range anns {
+		if a.Kind == annot.KindNegation {
+			negs = append(negs, a)
+		}
+	}
+	if len(negs) != 2 {
+		t.Fatalf("negations = %d", len(negs))
+	}
+	if negs[0].Sentence != 0 || negs[1].Sentence != 1 {
+		t.Errorf("sentence ids = %d, %d", negs[0].Sentence, negs[1].Sentence)
+	}
+}
+
+func TestOffsetsMatchText(t *testing.T) {
+	text := "They did not respond (sadly)."
+	for _, a := range analyze(text) {
+		if text[a.Start:a.End] != a.Value && a.Kind != annot.KindPronoun {
+			t.Errorf("span %q != value %q", text[a.Start:a.End], a.Value)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	text := "The drug did not work well. It was not (sadly) effective. Good."
+	st := Measure("doc1", text)
+	if st.DocID != "doc1" || st.Chars != len(text) {
+		t.Errorf("stats header: %+v", st)
+	}
+	if st.Sentences != 3 {
+		t.Errorf("sentences = %d", st.Sentences)
+	}
+	if st.Negations != 2 {
+		t.Errorf("negations = %d", st.Negations)
+	}
+	if st.Parens != 1 {
+		t.Errorf("parens = %d", st.Parens)
+	}
+	if st.Pronouns[0] != 1 { // "It"
+		t.Errorf("subject pronouns = %d", st.Pronouns[0])
+	}
+	if st.MeanSentenceLen <= 0 {
+		t.Error("mean sentence length not computed")
+	}
+	if got := st.NegPerSentence(); got < 0.6 || got > 0.7 {
+		t.Errorf("neg/sentence = %v", got)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st := Measure("e", "")
+	if st.Sentences != 0 || st.NegPerSentence() != 0 || st.MeanSentenceLen != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestFormatSentenceID(t *testing.T) {
+	if FormatSentenceID(-1) != "-" || FormatSentenceID(3) != "3" {
+		t.Error("FormatSentenceID broken")
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	text := "The patients did not respond to the treatment (p < 0.01), which was itself surprising to them and their physicians. "
+	for i := 0; i < 4; i++ {
+		text += text
+	}
+	sents := nlp.SplitSentences(text)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze("d", text, sents)
+	}
+}

@@ -1,0 +1,77 @@
+package meteor
+
+// Property tests: the parser must never panic on arbitrary input, and
+// valid scripts must round-trip through the compiler.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webtextie/internal/rng"
+)
+
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	err := quick.Check(func(src string) bool {
+		_, _ = Parse(src) // error is fine; panic is not
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	// Garbage built from valid token fragments is more likely to reach
+	// deep parser states than raw random strings.
+	pieces := []string{
+		"$x", "=", "read", "from", "'a'", ";", "write", "to", "with",
+		"op_name", ",", "min", "3.14", "--", "\n", "'unterminated",
+		"$", "$$", "''",
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		_, _ = Parse(b.String())
+	}
+}
+
+func TestValidScriptsAlwaysCompile(t *testing.T) {
+	// Generate random valid linear scripts; they must parse and compile.
+	r := rng.New(11)
+	ops := []string{"filter_min", "double", "label", "union"}
+	for trial := 0; trial < 100; trial++ {
+		var b strings.Builder
+		b.WriteString("$v0 = read from 'src';\n")
+		n := 1 + r.Intn(6)
+		for i := 1; i <= n; i++ {
+			op := ops[r.Intn(len(ops))]
+			switch op {
+			case "filter_min":
+				b.WriteString(sprintf("$v%d = filter_min $v%d with min=%d;\n", i, i-1, r.Intn(10)))
+			case "label":
+				b.WriteString(sprintf("$v%d = label $v%d with value='x%d';\n", i, i-1, i))
+			default:
+				b.WriteString(sprintf("$v%d = %s $v%d;\n", i, op, i-1))
+			}
+		}
+		b.WriteString(sprintf("write $v%d to 'out';\n", n))
+		s, err := Parse(b.String())
+		if err != nil {
+			t.Fatalf("trial %d parse: %v\n%s", trial, err, b.String())
+		}
+		if _, err := Compile(s, toyRegistry()); err != nil {
+			t.Fatalf("trial %d compile: %v\n%s", trial, err, b.String())
+		}
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,105 @@
+package mimetype
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromExtension(t *testing.T) {
+	cases := map[string]Type{
+		"/page.html": HTML, "/doc.HTM": HTML, "/a/b/readme.txt": Plain,
+		"/paper.pdf": PDF, "/x.zip": Zip, "/img.png": PNG, "/p.jpg": JPEG,
+	}
+	for path, want := range cases {
+		got, ok := FromExtension(path)
+		if !ok || got != want {
+			t.Errorf("FromExtension(%q) = %v/%v, want %v", path, got, ok, want)
+		}
+	}
+	if _, ok := FromExtension("/noext"); ok {
+		t.Error("extension found where none exists")
+	}
+	if _, ok := FromExtension("/weird.xyz123"); ok {
+		t.Error("unknown extension mapped")
+	}
+}
+
+func TestSniffMagic(t *testing.T) {
+	cases := map[string]Type{
+		"%PDF-1.4 blah":                                   PDF,
+		"PK\x03\x04contents":                              Zip,
+		"GIF89a....":                                      GIF,
+		"\x89PNG\r\n\x1a\nrest":                           PNG,
+		"\xff\xd8\xffjpegdata":                            JPEG,
+		"\xd0\xcf\x11\xe0worddoc":                         MSWord,
+		"<!DOCTYPE html><html></html>":                    HTML,
+		"  \n<html><body>x":                               HTML,
+		"Just some plain text without any markup at all.": Plain,
+	}
+	for content, want := range cases {
+		if got := Sniff([]byte(content)); got != want {
+			t.Errorf("Sniff(%q...) = %v, want %v", content[:min(12, len(content))], got, want)
+		}
+	}
+}
+
+func TestSniffBinary(t *testing.T) {
+	bin := make([]byte, 200)
+	for i := range bin {
+		bin[i] = byte(i % 7) // lots of control bytes
+	}
+	if got := Sniff(bin); got != Unknown {
+		t.Errorf("Sniff(binary) = %v, want Unknown", got)
+	}
+}
+
+func TestSniffEmpty(t *testing.T) {
+	if got := Sniff(nil); got != Unknown {
+		t.Errorf("Sniff(nil) = %v", got)
+	}
+}
+
+func TestDetectContentBeatsExtension(t *testing.T) {
+	// §5 pathology: a binary PDF served under a .html name must be caught.
+	pdf := []byte("%PDF-1.5 binary payload")
+	if got := Detect("/download/page.html", pdf); got != PDF {
+		t.Errorf("Detect(.html with PDF magic) = %v, want PDF", got)
+	}
+	// And an HTML page under a .pdf name is still HTML.
+	html := []byte("<html><body>actual page</body></html>")
+	if got := Detect("/files/report.pdf", html); got != HTML {
+		t.Errorf("Detect(.pdf with HTML content) = %v, want HTML", got)
+	}
+}
+
+func TestDetectFallsBackToExtension(t *testing.T) {
+	// Content inconclusive (empty) → extension decides.
+	if got := Detect("/img/logo.png", nil); got != PNG {
+		t.Errorf("Detect(empty .png) = %v, want PNG", got)
+	}
+}
+
+func TestIsTextual(t *testing.T) {
+	if !HTML.IsTextual() || !Plain.IsTextual() {
+		t.Error("HTML/Plain should be textual")
+	}
+	for _, tt := range []Type{PDF, Zip, GIF, PNG, JPEG, MSWord, Unknown} {
+		if tt.IsTextual() {
+			t.Errorf("%v should not be textual", tt)
+		}
+	}
+}
+
+func TestSniffLongInputBounded(t *testing.T) {
+	long := strings.Repeat("plain text ", 100000)
+	if got := Sniff([]byte(long)); got != Plain {
+		t.Errorf("Sniff(long text) = %v", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

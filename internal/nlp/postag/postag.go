@@ -1,0 +1,422 @@
+// Package postag implements the part-of-speech tagger of the paper's
+// pipeline: a hidden Markov model in the style of MedPost (§4.2: "our
+// part-of-speech tagger, MedPost, uses a Hidden Markov Model of order
+// three"), with Viterbi decoding, a suffix-based unknown-word model, and
+// the MedPost failure mode — crashes on degenerate, extremely long
+// "sentences" from web text (Fig 3a discussion).
+//
+// Both order 2 (bigram transitions) and order 3 (trigram transitions) are
+// supported; the ablation bench compares them.
+package postag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TaggedToken is one training token.
+type TaggedToken struct {
+	Word, Tag string
+}
+
+// ErrTooLong reports the MedPost-style crash on degenerate input: "large
+// runtime fluctuations ... and even occasional crashes, especially when the
+// tagger is applied to very long sentences" (§4.2).
+var ErrTooLong = errors.New("postag: sentence exceeds maximum length")
+
+// Config controls training and decoding.
+type Config struct {
+	// Order is the HMM order: 2 (bigram) or 3 (trigram, MedPost-like).
+	Order int
+	// MaxTokens is the crash threshold; 0 disables the limit.
+	MaxTokens int
+	// SuffixLen is the suffix length of the unknown-word model.
+	SuffixLen int
+}
+
+// DefaultConfig returns the paper-like configuration.
+func DefaultConfig() Config {
+	return Config{Order: 3, MaxTokens: 400, SuffixLen: 3}
+}
+
+// Tagger is a trained HMM tagger.
+type Tagger struct {
+	cfg   Config
+	tags  []string
+	tagIx map[string]int
+
+	// logTrans2[i][j] = log P(t_j | t_i); logTrans3[i*T+j][k] = log P(t_k | t_i, t_j).
+	logTrans2 [][]float64
+	logTrans3 [][]float64
+
+	// emission log-probs per tag: known words and suffix fallback.
+	logEmit    []map[string]float64
+	logSuffix  []map[string]float64
+	logUnknown []float64 // per-tag floor for fully unknown shapes
+
+	// shape priors: log P(tag | shape-class) for unknown words.
+	logShape map[string][]float64
+}
+
+// Train estimates the model from gold-tagged sentences.
+func Train(sentences [][]TaggedToken, cfg Config) *Tagger {
+	if cfg.Order != 2 && cfg.Order != 3 {
+		cfg.Order = 3
+	}
+	if cfg.SuffixLen <= 0 {
+		cfg.SuffixLen = 3
+	}
+	t := &Tagger{cfg: cfg, tagIx: map[string]int{}}
+
+	// Collect tagset.
+	for _, s := range sentences {
+		for _, tok := range s {
+			if _, ok := t.tagIx[tok.Tag]; !ok {
+				t.tagIx[tok.Tag] = len(t.tags)
+				t.tags = append(t.tags, tok.Tag)
+			}
+		}
+	}
+	T := len(t.tags)
+
+	// Counts.
+	c2 := make([][]float64, T+1) // index T = sentence start
+	for i := range c2 {
+		c2[i] = make([]float64, T)
+	}
+	c3 := make([][]float64, (T+1)*(T+1))
+	for i := range c3 {
+		c3[i] = make([]float64, T)
+	}
+	emitCount := make([]map[string]float64, T)
+	sufCount := make([]map[string]float64, T)
+	shapeCount := map[string][]float64{}
+	tagTotal := make([]float64, T)
+	for i := 0; i < T; i++ {
+		emitCount[i] = map[string]float64{}
+		sufCount[i] = map[string]float64{}
+	}
+
+	for _, s := range sentences {
+		prev1, prev2 := T, T // start symbols
+		for _, tok := range s {
+			ti := t.tagIx[tok.Tag]
+			c2[prev1][ti]++
+			c3[prev2*(T+1)+prev1][ti]++
+			w := tok.Word
+			emitCount[ti][w]++
+			sufCount[ti][suffix(w, cfg.SuffixLen)]++
+			sh := shape(w)
+			if shapeCount[sh] == nil {
+				shapeCount[sh] = make([]float64, T)
+			}
+			shapeCount[sh][ti]++
+			tagTotal[ti]++
+			prev2, prev1 = prev1, ti
+		}
+	}
+
+	// Normalize to log-probs with add-one smoothing.
+	t.logTrans2 = make([][]float64, T+1)
+	for i := range t.logTrans2 {
+		t.logTrans2[i] = make([]float64, T)
+		var sum float64
+		for j := 0; j < T; j++ {
+			sum += c2[i][j]
+		}
+		for j := 0; j < T; j++ {
+			t.logTrans2[i][j] = math.Log((c2[i][j] + 1) / (sum + float64(T)))
+		}
+	}
+	if cfg.Order == 3 {
+		t.logTrans3 = make([][]float64, (T+1)*(T+1))
+		for i := range t.logTrans3 {
+			t.logTrans3[i] = make([]float64, T)
+			var sum float64
+			for j := 0; j < T; j++ {
+				sum += c3[i][j]
+			}
+			for j := 0; j < T; j++ {
+				// Interpolate trigram with bigram (deleted interpolation,
+				// fixed lambdas — adequate for a synthetic tagset).
+				tri := (c3[i][j] + 0.5) / (sum + 0.5*float64(T))
+				bi := math.Exp(t.logTrans2[i%(T+1)][j])
+				t.logTrans3[i][j] = math.Log(0.7*tri + 0.3*bi)
+			}
+		}
+	}
+
+	t.logEmit = make([]map[string]float64, T)
+	t.logSuffix = make([]map[string]float64, T)
+	t.logUnknown = make([]float64, T)
+	var grandTotal float64
+	for i := 0; i < T; i++ {
+		grandTotal += tagTotal[i]
+	}
+	for i := 0; i < T; i++ {
+		t.logEmit[i] = make(map[string]float64, len(emitCount[i]))
+		vocab := float64(len(emitCount[i])) + 1
+		for w, c := range emitCount[i] {
+			t.logEmit[i][w] = math.Log(c / (tagTotal[i] + vocab))
+		}
+		t.logSuffix[i] = make(map[string]float64, len(sufCount[i]))
+		for s, c := range sufCount[i] {
+			t.logSuffix[i][s] = math.Log(c / (tagTotal[i] + vocab))
+		}
+		t.logUnknown[i] = math.Log(1 / (tagTotal[i] + vocab))
+	}
+	t.logShape = map[string][]float64{}
+	for sh, counts := range shapeCount {
+		l := make([]float64, T)
+		var sum float64
+		for _, c := range counts {
+			sum += c
+		}
+		for i, c := range counts {
+			l[i] = math.Log((c + 0.5) / (sum + 0.5*float64(T)))
+		}
+		t.logShape[sh] = l
+	}
+	return t
+}
+
+// Tags returns the tag inventory in training order.
+func (t *Tagger) Tags() []string { return t.tags }
+
+func suffix(w string, n int) string {
+	if len(w) <= n {
+		return strings.ToLower(w)
+	}
+	return strings.ToLower(w[len(w)-n:])
+}
+
+// shape classifies a word's surface shape, the signal unknown-word tagging
+// leans on (and, for NER downstream, the very signal that makes TLAs look
+// like gene symbols).
+func shape(w string) string {
+	hasDigit, hasUpper, hasLower, hasHyphen := false, false, false, false
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		switch {
+		case c >= '0' && c <= '9':
+			hasDigit = true
+		case c >= 'A' && c <= 'Z':
+			hasUpper = true
+		case c >= 'a' && c <= 'z':
+			hasLower = true
+		case c == '-':
+			hasHyphen = true
+		}
+	}
+	switch {
+	case hasDigit && !hasUpper && !hasLower:
+		return "num"
+	case hasDigit:
+		return "alnum"
+	case hasUpper && !hasLower && len(w) <= 4:
+		return "acro"
+	case hasUpper && !hasLower:
+		return "upper"
+	case hasUpper:
+		return "cap"
+	case hasHyphen:
+		return "hyph"
+	case hasLower:
+		return "lower"
+	default:
+		return "other"
+	}
+}
+
+// emitLog returns log P(word | tag) using the known-word table with
+// suffix/shape fallback for unknown words.
+func (t *Tagger) emitLog(ti int, w string) float64 {
+	if lp, ok := t.logEmit[ti][w]; ok {
+		return lp
+	}
+	lp := t.logUnknown[ti]
+	if slp, ok := t.logSuffix[ti][suffix(w, t.cfg.SuffixLen)]; ok {
+		lp = slp
+	}
+	if shp, ok := t.logShape[shape(w)]; ok {
+		lp += 0.5 * shp[ti]
+	}
+	return lp
+}
+
+// emitRow fills dst with log P(word | tag) for every tag, hoisting the
+// suffix/shape computations out of the per-tag loop. This is the hot path
+// of Viterbi decoding.
+func (t *Tagger) emitRow(w string, dst []float64) {
+	suf := suffix(w, t.cfg.SuffixLen)
+	shp := t.logShape[shape(w)]
+	for ti := range dst {
+		if lp, ok := t.logEmit[ti][w]; ok {
+			dst[ti] = lp
+			continue
+		}
+		lp := t.logUnknown[ti]
+		if slp, ok := t.logSuffix[ti][suf]; ok {
+			lp = slp
+		}
+		if shp != nil {
+			lp += 0.5 * shp[ti]
+		}
+		dst[ti] = lp
+	}
+}
+
+// Tag decodes the most likely tag sequence for words via Viterbi. It
+// returns ErrTooLong for sentences over the configured limit.
+func (t *Tagger) Tag(words []string) ([]string, error) {
+	if t.cfg.MaxTokens > 0 && len(words) > t.cfg.MaxTokens {
+		return nil, fmt.Errorf("%w: %d tokens (limit %d)", ErrTooLong, len(words), t.cfg.MaxTokens)
+	}
+	if len(words) == 0 {
+		return nil, nil
+	}
+	if t.cfg.Order == 3 {
+		return t.viterbi3(words)
+	}
+	return t.viterbi2(words)
+}
+
+// viterbi2 decodes with bigram transitions: O(n·T²).
+func (t *Tagger) viterbi2(words []string) ([]string, error) {
+	T := len(t.tags)
+	n := len(words)
+	delta := make([]float64, T)
+	back := make([][]int16, n)
+	em := make([]float64, T)
+	t.emitRow(words[0], em)
+	for j := 0; j < T; j++ {
+		delta[j] = t.logTrans2[T][j] + em[j]
+	}
+	next := make([]float64, T)
+	for i := 1; i < n; i++ {
+		back[i] = make([]int16, T)
+		t.emitRow(words[i], em)
+		for j := 0; j < T; j++ {
+			best := math.Inf(-1)
+			var arg int16
+			for k := 0; k < T; k++ {
+				if v := delta[k] + t.logTrans2[k][j]; v > best {
+					best = v
+					arg = int16(k)
+				}
+			}
+			next[j] = best + em[j]
+			back[i][j] = arg
+		}
+		delta, next = next, delta
+	}
+	bestJ := 0
+	for j := 1; j < T; j++ {
+		if delta[j] > delta[bestJ] {
+			bestJ = j
+		}
+	}
+	out := make([]string, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = t.tags[bestJ]
+		if i > 0 {
+			bestJ = int(back[i][bestJ])
+		}
+	}
+	return out, nil
+}
+
+// viterbi3 decodes with trigram transitions over tag-pair states, using
+// dense score arrays over the (prev, cur) state space — state (a, b) with
+// a ∈ [0..T] (T = start symbol) and b ∈ [0..T-1] is encoded as a*T + b.
+func (t *Tagger) viterbi3(words []string) ([]string, error) {
+	T := len(t.tags)
+	n := len(words)
+	S := T + 1 // tag alphabet incl. start
+	nStates := S * T
+
+	neg := math.Inf(-1)
+	cur := make([]float64, nStates)
+	next := make([]float64, nStates)
+	for i := range cur {
+		cur[i] = neg
+	}
+	em := make([]float64, T)
+	t.emitRow(words[0], em)
+	for j := 0; j < T; j++ {
+		cur[T*T+j] = t.logTrans3[T*S+T][j] + em[j] // (start, j)
+	}
+	backptr := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		bp := make([]int32, nStates)
+		for k := range next {
+			next[k] = neg
+			bp[k] = -1
+		}
+		t.emitRow(words[i], em)
+		for st, score := range cur {
+			if score == neg {
+				continue
+			}
+			a := st / T // previous-previous tag (or start)
+			b := st % T // previous tag
+			row := t.logTrans3[a*S+b]
+			base := b * T
+			for j := 0; j < T; j++ {
+				v := score + row[j] + em[j]
+				if v > next[base+j] {
+					next[base+j] = v
+					bp[base+j] = int32(st)
+				}
+			}
+		}
+		backptr[i] = bp
+		cur, next = next, cur
+	}
+	// Best final state.
+	bestScore := neg
+	bestSt := -1
+	for st, score := range cur {
+		if score > bestScore {
+			bestScore = score
+			bestSt = st
+		}
+	}
+	if bestSt < 0 {
+		return nil, errors.New("postag: no path")
+	}
+	out := make([]string, n)
+	st := int32(bestSt)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = t.tags[int(st)%T]
+		if i > 0 {
+			st = backptr[i][st]
+		}
+	}
+	return out, nil
+}
+
+// Accuracy scores predicted against gold tags, ignoring length mismatches.
+func Accuracy(gold, pred [][]string) float64 {
+	var hit, total int
+	for i := range gold {
+		if i >= len(pred) {
+			break
+		}
+		for j := range gold[i] {
+			if j >= len(pred[i]) {
+				break
+			}
+			total++
+			if gold[i][j] == pred[i][j] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

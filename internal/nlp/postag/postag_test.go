@@ -1,0 +1,262 @@
+package postag
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+// trainingData converts generator gold docs into tagged sentences.
+func trainingData(t testing.TB, n int, kind textgen.CorpusKind) [][]TaggedToken {
+	t.Helper()
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 100, Diseases: 100}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	r := rng.New(7)
+	var out [][]TaggedToken
+	for i := 0; i < n; i++ {
+		d := gen.Doc(r, kind, fmt.Sprint("d", i))
+		for _, s := range d.Sentences {
+			var sent []TaggedToken
+			for _, tok := range s.Tokens {
+				sent = append(sent, TaggedToken{Word: tok.Text, Tag: tok.Tag})
+			}
+			out = append(out, sent)
+		}
+	}
+	return out
+}
+
+func TestTrainAndTagAccuracy(t *testing.T) {
+	data := trainingData(t, 300, textgen.Medline)
+	split := len(data) * 9 / 10
+	tagger := Train(data[:split], DefaultConfig())
+	var gold, pred [][]string
+	for _, s := range data[split:] {
+		words := make([]string, len(s))
+		gs := make([]string, len(s))
+		for i, tok := range s {
+			words[i] = tok.Word
+			gs[i] = tok.Tag
+		}
+		tags, err := tagger.Tag(words)
+		if err != nil {
+			t.Fatalf("Tag error: %v", err)
+		}
+		gold = append(gold, gs)
+		pred = append(pred, tags)
+	}
+	acc := Accuracy(gold, pred)
+	if acc < 0.90 {
+		t.Fatalf("held-out accuracy = %.3f, want >= 0.90", acc)
+	}
+}
+
+func TestOrder3BeatsOrder2OrClose(t *testing.T) {
+	data := trainingData(t, 250, textgen.Medline)
+	split := len(data) * 9 / 10
+	eval := func(order int) float64 {
+		cfg := DefaultConfig()
+		cfg.Order = order
+		tagger := Train(data[:split], cfg)
+		var gold, pred [][]string
+		for _, s := range data[split:] {
+			words := make([]string, len(s))
+			gs := make([]string, len(s))
+			for i, tok := range s {
+				words[i] = tok.Word
+				gs[i] = tok.Tag
+			}
+			tags, err := tagger.Tag(words)
+			if err != nil {
+				continue
+			}
+			gold = append(gold, gs)
+			pred = append(pred, tags)
+		}
+		return Accuracy(gold, pred)
+	}
+	a2, a3 := eval(2), eval(3)
+	if a3 < a2-0.02 {
+		t.Errorf("order-3 accuracy %.3f much worse than order-2 %.3f", a3, a2)
+	}
+}
+
+func TestUnknownWordsViaSuffixAndShape(t *testing.T) {
+	data := trainingData(t, 200, textgen.Medline)
+	tagger := Train(data, DefaultConfig())
+	// A never-seen gene-like symbol should still be tagged NNP thanks to
+	// the shape model (acronym-with-digits).
+	tags, err := tagger.Tag([]string{"The", "XQZW9", "gene", "regulates", "the", "pathway", "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tags[1] != "NNP" {
+		t.Errorf("unknown gene symbol tagged %q, want NNP (tags: %v)", tags[1], tags)
+	}
+}
+
+func TestTooLongSentenceCrashes(t *testing.T) {
+	data := trainingData(t, 50, textgen.Medline)
+	cfg := DefaultConfig()
+	cfg.MaxTokens = 100
+	tagger := Train(data, cfg)
+	long := make([]string, 150)
+	for i := range long {
+		long[i] = "word"
+	}
+	_, err := tagger.Tag(long)
+	if !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+	// Disabled limit must not crash.
+	cfg.MaxTokens = 0
+	tagger2 := Train(data, cfg)
+	if _, err := tagger2.Tag(long); err != nil {
+		t.Fatalf("unlimited tagger errored: %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	tagger := Train(trainingData(t, 20, textgen.Medline), DefaultConfig())
+	tags, err := tagger.Tag(nil)
+	if err != nil || tags != nil {
+		t.Errorf("empty input: %v, %v", tags, err)
+	}
+}
+
+func TestTagsInventory(t *testing.T) {
+	tagger := Train(trainingData(t, 50, textgen.Medline), DefaultConfig())
+	if len(tagger.Tags()) < 10 {
+		t.Errorf("only %d tags learned", len(tagger.Tags()))
+	}
+}
+
+func TestDeterministicDecoding(t *testing.T) {
+	data := trainingData(t, 100, textgen.Medline)
+	tagger := Train(data, DefaultConfig())
+	words := []string{"The", "patients", "were", "not", "treated", "with", "the", "drug", "."}
+	a, _ := tagger.Tag(words)
+	b, _ := tagger.Tag(words)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("decoding not deterministic")
+		}
+	}
+}
+
+func TestShapeClassifier(t *testing.T) {
+	cases := map[string]string{
+		"123": "num", "BRCA1": "alnum", "TLA": "acro", "LONGCAPS": "upper",
+		"Word": "cap", "x-ray": "hyph", "word": "lower", "...": "other",
+	}
+	for w, want := range cases {
+		if got := shape(w); got != want {
+			t.Errorf("shape(%q) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	gold := [][]string{{"A", "B"}, {"C"}}
+	pred := [][]string{{"A", "X"}, {"C"}}
+	if got := Accuracy(gold, pred); got != 2.0/3.0 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy != 0")
+	}
+}
+
+func TestLinearRuntimeShape(t *testing.T) {
+	// Fig 3a: runtime "is, in principle, linear in the length of the text".
+	// We verify decode cost grows no worse than ~quadratically but roughly
+	// linearly: time(4n)/time(n) should be well below 16x. Using token
+	// operations as a proxy (deterministic), we just confirm long inputs
+	// complete and scale.
+	data := trainingData(t, 100, textgen.Medline)
+	cfg := DefaultConfig()
+	cfg.MaxTokens = 0
+	tagger := Train(data, cfg)
+	mk := func(n int) []string {
+		out := make([]string, n)
+		words := []string{"the", "patient", "was", "treated", "with", "aspirin", "."}
+		for i := range out {
+			out[i] = words[i%len(words)]
+		}
+		return out
+	}
+	if _, err := tagger.Tag(mk(2000)); err != nil {
+		t.Fatalf("long decode failed: %v", err)
+	}
+}
+
+func BenchmarkTagOrder3(b *testing.B) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 100, Diseases: 100}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	r := rng.New(7)
+	var data [][]TaggedToken
+	for i := 0; i < 200; i++ {
+		d := gen.Doc(r, textgen.Medline, fmt.Sprint("d", i))
+		for _, s := range d.Sentences {
+			var sent []TaggedToken
+			for _, tok := range s.Tokens {
+				sent = append(sent, TaggedToken{Word: tok.Text, Tag: tok.Tag})
+			}
+			data = append(data, sent)
+		}
+	}
+	tagger := Train(data, DefaultConfig())
+	words := []string{"The", "BRCA1", "gene", "significantly", "regulates", "the", "tumor", "response", "in", "patients", "with", "renal", "carcinoma", "."}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tagger.Tag(words)
+	}
+}
+
+func TestTagOutputLengthProperty(t *testing.T) {
+	tagger := Train(trainingData(t, 80, textgen.Medline), DefaultConfig())
+	r := rng.New(71)
+	words := []string{"the", "BRCA1", "gene", "regulates", "42", "X-ray", "growth", ".", "(", ")"}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		in := make([]string, n)
+		for i := range in {
+			in[i] = words[r.Intn(len(words))]
+		}
+		tags, err := tagger.Tag(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(tags) != n {
+			t.Fatalf("trial %d: %d tags for %d words", trial, len(tags), n)
+		}
+		for _, tag := range tags {
+			if tag == "" {
+				t.Fatalf("trial %d: empty tag", trial)
+			}
+		}
+	}
+}
+
+func TestOrder2And3AgreeOnEasySentences(t *testing.T) {
+	data := trainingData(t, 150, textgen.Medline)
+	cfg2, cfg3 := DefaultConfig(), DefaultConfig()
+	cfg2.Order = 2
+	t2 := Train(data, cfg2)
+	t3 := Train(data, cfg3)
+	words := []string{"The", "patients", "were", "treated", "with", "the", "drug", "."}
+	a, _ := t2.Tag(words)
+	b, _ := t3.Tag(words)
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	if agree < len(a)-1 {
+		t.Errorf("orders disagree heavily: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,179 @@
+// Package relex implements relation extraction between annotated entity
+// mentions — the "semantic annotations (... relationships between
+// entities)" the paper's IE operator package provides (§3.1). The method
+// is sentence-scoped trigger-verb pattern matching over entity pairs, the
+// classical co-occurrence + pattern baseline of biomedical RE, with
+// negation awareness (the §4.3.1 motivation: "Detecting negation is
+// important in many areas of natural language processing (e.g., ...
+// relation extraction)").
+package relex
+
+import (
+	"strings"
+
+	"webtextie/internal/nlp"
+)
+
+// Mention is one entity mention as input to relation extraction.
+type Mention struct {
+	// Type is the entity class name ("gene", "drug", "disease").
+	Type string
+	// Start/End are byte offsets into the document text.
+	Start, End int
+	// Surface is the mention text.
+	Surface string
+}
+
+// Relation is one extracted binary relation.
+type Relation struct {
+	// Sentence is the index of the carrying sentence.
+	Sentence int
+	// A is the left (subject-side) mention, B the right one.
+	A, B Mention
+	// Trigger is the matched verb/phrase connecting the pair.
+	Trigger string
+	// Kind classifies the relation by the trigger's semantic group.
+	Kind string
+	// Negated reports a negation particle between the mentions.
+	Negated bool
+}
+
+// triggerGroups map connecting verbs to relation kinds. The inventory
+// covers the verbs of the scientific register (and their inflections), so
+// extraction works on exactly the prose the corpora contain.
+var triggerGroups = map[string]string{
+	"regulate": "regulation", "regulates": "regulation", "regulated": "regulation",
+	"modulate": "regulation", "modulates": "regulation", "modulated": "regulation",
+	"inhibit": "inhibition", "inhibits": "inhibition", "inhibited": "inhibition",
+	"suppress": "inhibition", "suppresses": "inhibition", "suppressed": "inhibition",
+	"activate": "activation", "activates": "activation", "activated": "activation",
+	"induce": "activation", "induces": "activation", "induced": "activation",
+	"cause": "causation", "causes": "causation", "caused": "causation",
+	"affect": "association", "affects": "association", "affected": "association",
+	"associated": "association", "bind": "binding", "binds": "binding",
+	"target": "targeting", "targets": "targeting", "targeted": "targeting",
+	"encode": "expression", "encodes": "expression", "encoded": "expression",
+	"express": "expression", "expresses": "expression", "expressed": "expression",
+	"mediate": "regulation", "mediates": "regulation", "mediated": "regulation",
+	"reduce": "outcome", "reduces": "outcome", "reduced": "outcome",
+	"increase": "outcome", "increases": "outcome", "increased": "outcome",
+	"treat": "treatment", "treats": "treatment", "treated": "treatment",
+	"observed": "observation", "measured": "observation", "analyzed": "observation",
+	"identified": "observation", "detected": "observation", "reported": "observation",
+	"evaluated": "observation", "compared": "observation",
+}
+
+// negationWords between a pair flips the Negated flag.
+var negationWords = map[string]bool{"not": true, "nor": true, "neither": true}
+
+// Config tunes extraction.
+type Config struct {
+	// MaxPairDistance is the maximum byte distance between the two
+	// mentions; 0 means sentence-bounded only.
+	MaxPairDistance int
+	// RequireTrigger drops pairs with no trigger verb between them
+	// (pure co-occurrence extraction when false).
+	RequireTrigger bool
+	// AllowSameType keeps X-X pairs (gene-gene interactions).
+	AllowSameType bool
+}
+
+// DefaultConfig is trigger-required, sentence-bounded extraction.
+func DefaultConfig() Config {
+	return Config{MaxPairDistance: 0, RequireTrigger: true, AllowSameType: true}
+}
+
+// Extract finds relations among mentions over the document text. Sentences
+// provide the pairing scope. Mentions may come from any tagger (gold,
+// dictionary, or CRF); they only need correct spans.
+func Extract(text string, sentences []nlp.Span, mentions []Mention, cfg Config) []Relation {
+	var out []Relation
+	for si, span := range sentences {
+		// Mentions inside this sentence, in text order.
+		var ms []Mention
+		for _, m := range mentions {
+			if m.Start >= span.Start && m.End <= span.End {
+				ms = append(ms, m)
+			}
+		}
+		if len(ms) < 2 {
+			continue
+		}
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				a, b := ms[i], ms[j]
+				if a.End > b.Start {
+					continue // overlapping spans
+				}
+				if !cfg.AllowSameType && a.Type == b.Type {
+					continue
+				}
+				if cfg.MaxPairDistance > 0 && b.Start-a.End > cfg.MaxPairDistance {
+					continue
+				}
+				between := text[a.End:b.Start]
+				trigger, kind := findTrigger(between)
+				if trigger == "" && cfg.RequireTrigger {
+					continue
+				}
+				if trigger == "" {
+					kind = "cooccurrence"
+				}
+				out = append(out, Relation{
+					Sentence: si, A: a, B: b,
+					Trigger: trigger, Kind: kind,
+					Negated: hasNegation(between),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// findTrigger scans the inter-mention text for the first trigger verb.
+func findTrigger(between string) (trigger, kind string) {
+	for _, w := range fieldsLower(between) {
+		if k, ok := triggerGroups[w]; ok {
+			return w, k
+		}
+	}
+	return "", ""
+}
+
+func hasNegation(between string) bool {
+	for _, w := range fieldsLower(between) {
+		if negationWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldsLower splits on non-letters and lower-cases, allocating modestly.
+func fieldsLower(s string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end > start {
+			out = append(out, strings.ToLower(s[start:end]))
+		}
+		start = -1
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// PairKey canonicalizes a relation's participants for set comparisons.
+func (r Relation) PairKey() string {
+	return r.A.Type + ":" + r.A.Surface + "|" + r.B.Type + ":" + r.B.Surface
+}

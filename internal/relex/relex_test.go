@@ -1,0 +1,201 @@
+package relex
+
+import (
+	"fmt"
+	"testing"
+
+	"webtextie/internal/nlp"
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+func mk(text string, ms ...Mention) ([]nlp.Span, []Mention) {
+	return nlp.SplitSentences(text), ms
+}
+
+func TestExtractTriggerRelation(t *testing.T) {
+	text := "The BRCA1 gene regulates renal carcinoma in patients."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 4, End: 9, Surface: "BRCA1"},
+		Mention{Type: "disease", Start: 25, End: 40, Surface: "renal carcinoma"},
+	)
+	rels := Extract(text, sents, ms, DefaultConfig())
+	if len(rels) != 1 {
+		t.Fatalf("relations = %+v", rels)
+	}
+	r := rels[0]
+	if r.Trigger != "regulates" || r.Kind != "regulation" {
+		t.Errorf("trigger = %q kind = %q", r.Trigger, r.Kind)
+	}
+	if r.Negated {
+		t.Error("spurious negation")
+	}
+	if r.A.Surface != "BRCA1" || r.B.Surface != "renal carcinoma" {
+		t.Errorf("participants: %+v", r)
+	}
+}
+
+func TestExtractNegatedRelation(t *testing.T) {
+	text := "The BRCA1 gene did not inhibit carcinoma growth."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 4, End: 9, Surface: "BRCA1"},
+		Mention{Type: "disease", Start: 31, End: 40, Surface: "carcinoma"},
+	)
+	rels := Extract(text, sents, ms, DefaultConfig())
+	if len(rels) != 1 || !rels[0].Negated {
+		t.Fatalf("relations = %+v", rels)
+	}
+	if rels[0].Kind != "inhibition" {
+		t.Errorf("kind = %q", rels[0].Kind)
+	}
+}
+
+func TestNoTriggerNoRelation(t *testing.T) {
+	text := "The BRCA1 gene and the carcinoma sample."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 4, End: 9, Surface: "BRCA1"},
+		Mention{Type: "disease", Start: 23, End: 32, Surface: "carcinoma"},
+	)
+	if rels := Extract(text, sents, ms, DefaultConfig()); len(rels) != 0 {
+		t.Fatalf("relations without trigger: %+v", rels)
+	}
+	// Co-occurrence mode keeps the pair.
+	cfg := DefaultConfig()
+	cfg.RequireTrigger = false
+	rels := Extract(text, sents, ms, cfg)
+	if len(rels) != 1 || rels[0].Kind != "cooccurrence" {
+		t.Fatalf("cooccurrence mode: %+v", rels)
+	}
+}
+
+func TestSentenceBoundaryScopesPairs(t *testing.T) {
+	text := "The BRCA1 gene regulates growth. The carcinoma was treated."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 4, End: 9, Surface: "BRCA1"},
+		Mention{Type: "disease", Start: 37, End: 46, Surface: "carcinoma"},
+	)
+	if rels := Extract(text, sents, ms, DefaultConfig()); len(rels) != 0 {
+		t.Fatalf("cross-sentence pair extracted: %+v", rels)
+	}
+}
+
+func TestSameTypeToggle(t *testing.T) {
+	text := "BRCA1 activates TP53 downstream."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 0, End: 5, Surface: "BRCA1"},
+		Mention{Type: "gene", Start: 16, End: 20, Surface: "TP53"},
+	)
+	if rels := Extract(text, sents, ms, DefaultConfig()); len(rels) != 1 {
+		t.Fatalf("gene-gene: %+v", rels)
+	}
+	cfg := DefaultConfig()
+	cfg.AllowSameType = false
+	if rels := Extract(text, sents, ms, cfg); len(rels) != 0 {
+		t.Fatalf("same-type pair kept: %+v", rels)
+	}
+}
+
+func TestMaxPairDistance(t *testing.T) {
+	text := "BRCA1 regulates something that eventually relates to carcinoma."
+	sents, ms := mk(text,
+		Mention{Type: "gene", Start: 0, End: 5, Surface: "BRCA1"},
+		Mention{Type: "disease", Start: 54, End: 63, Surface: "carcinoma"},
+	)
+	cfg := DefaultConfig()
+	cfg.MaxPairDistance = 10
+	if rels := Extract(text, sents, ms, cfg); len(rels) != 0 {
+		t.Fatalf("distant pair kept: %+v", rels)
+	}
+}
+
+func TestOverlappingMentionsSkipped(t *testing.T) {
+	text := "renal carcinoma regulates carcinoma."
+	sents, ms := mk(text,
+		Mention{Type: "disease", Start: 0, End: 15, Surface: "renal carcinoma"},
+		Mention{Type: "disease", Start: 6, End: 15, Surface: "carcinoma"},
+		Mention{Type: "disease", Start: 26, End: 35, Surface: "carcinoma"},
+	)
+	rels := Extract(text, sents, ms, DefaultConfig())
+	for _, r := range rels {
+		if r.A.End > r.B.Start {
+			t.Fatalf("overlapping pair: %+v", r)
+		}
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	r := Relation{A: Mention{Type: "gene", Surface: "X"}, B: Mention{Type: "drug", Surface: "y"}}
+	if r.PairKey() != "gene:X|drug:y" {
+		t.Errorf("key = %q", r.PairKey())
+	}
+}
+
+// TestAgainstGeneratorGold evaluates extraction on generated documents
+// using gold mention spans, scoring against the generator's gold relations.
+func TestAgainstGeneratorGold(t *testing.T) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 100, Diseases: 100}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	r := rng.New(42)
+	var tp, fn, found int
+	goldTotal := 0
+	for i := 0; i < 300; i++ {
+		d := gen.Doc(r, textgen.Medline, fmt.Sprint("m", i))
+		if len(d.Relations) == 0 {
+			continue
+		}
+		goldTotal += len(d.Relations)
+		var ms []Mention
+		for _, m := range d.Mentions {
+			ms = append(ms, Mention{Type: m.Type.String(), Start: m.Start, End: m.End, Surface: m.Name})
+		}
+		rels := Extract(d.Text, nlp.SplitSentences(d.Text), ms, DefaultConfig())
+		found += len(rels)
+		// A gold relation is recovered when some extracted relation links
+		// the same two spans.
+		for _, g := range d.Relations {
+			a, b := d.Mentions[g.A], d.Mentions[g.B]
+			hit := false
+			for _, rel := range rels {
+				if rel.A.Start == a.Start && rel.A.End == a.End &&
+					rel.B.Start == b.Start && rel.B.End == b.End {
+					hit = true
+					if g.Negated && !rel.Negated {
+						t.Errorf("negated gold relation extracted as positive: %q", d.Text[a.Start:b.End])
+					}
+					break
+				}
+			}
+			if hit {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
+	if goldTotal < 20 {
+		t.Fatalf("only %d gold relations generated", goldTotal)
+	}
+	recall := float64(tp) / float64(tp+fn)
+	if recall < 0.7 {
+		t.Errorf("gold-relation recall = %.3f (%d/%d)", recall, tp, tp+fn)
+	}
+	if found == 0 {
+		t.Fatal("nothing extracted")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 100, Diseases: 100}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	d := gen.Doc(rng.New(7), textgen.PMC, "bench")
+	var ms []Mention
+	for _, m := range d.Mentions {
+		ms = append(ms, Mention{Type: m.Type.String(), Start: m.Start, End: m.End, Surface: m.Name})
+	}
+	sents := nlp.SplitSentences(d.Text)
+	b.SetBytes(int64(len(d.Text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Extract(d.Text, sents, ms, DefaultConfig())
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type row struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "facts", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Write(row{ID: fmt.Sprint("d", i), N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 100 {
+		t.Errorf("records = %d", w.Records())
+	}
+
+	var got []row
+	n, chunkErrs, err := Read(dir, "facts", func(r row) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || chunkErrs != 0 {
+		t.Fatalf("read: %v, chunkErrs=%d", err, chunkErrs)
+	}
+	if n != 100 || len(got) != 100 {
+		t.Fatalf("read %d records", n)
+	}
+	for i, r := range got {
+		if r.N != i {
+			t.Fatalf("order broken at %d: %+v", i, r)
+		}
+	}
+}
+
+func TestChunkRollover(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "x", 200) // tiny chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Write(row{ID: "document-with-a-long-identifier", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Chunks() < 5 {
+		t.Fatalf("chunks = %d, want several", w.Chunks())
+	}
+	files, err := ChunkFiles(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != w.Chunks() {
+		t.Fatalf("files = %d, chunks = %d", len(files), w.Chunks())
+	}
+	n, _, err := Read(dir, "x", func(r row) error { return nil })
+	if err != nil || n != 50 {
+		t.Fatalf("read %d, err %v", n, err)
+	}
+}
+
+func TestCorruptChunkIsolated(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, "y", 150)
+	for i := 0; i < 30; i++ {
+		_ = w.Write(row{ID: "some-identifier-string", N: i})
+	}
+	_ = w.Close()
+	files, _ := ChunkFiles(dir, "y")
+	if len(files) < 3 {
+		t.Skip("need several chunks")
+	}
+	// Corrupt the middle chunk.
+	if err := os.WriteFile(files[1], []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, chunkErrs, err := Read(dir, "y", func(r row) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkErrs != 1 {
+		t.Errorf("chunkErrs = %d, want 1", chunkErrs)
+	}
+	if n == 0 || n >= 30 {
+		t.Errorf("records = %d, want partial recovery", n)
+	}
+}
+
+func TestChunkFilesFiltersPrefix(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, "a", 1<<20)
+	_ = w.Write(row{ID: "x"})
+	_ = w.Close()
+	w2, _ := NewWriter(dir, "b", 1<<20)
+	_ = w2.Write(row{ID: "y"})
+	_ = w2.Close()
+	// A stray file that must be ignored.
+	_ = os.WriteFile(filepath.Join(dir, "a-junk.txt"), []byte("junk"), 0o644)
+
+	files, err := ChunkFiles(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestReadCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, "z", 1<<20)
+	for i := 0; i < 5; i++ {
+		_ = w.Write(row{N: i})
+	}
+	_ = w.Close()
+	stop := fmt.Errorf("stop")
+	n, chunkErrs, err := Read(dir, "z", func(r row) error {
+		if r.N == 2 {
+			return stop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkErrs != 1 || n != 2 {
+		t.Errorf("n=%d chunkErrs=%d", n, chunkErrs)
+	}
+}
+
+func TestEmptyPrefix(t *testing.T) {
+	dir := t.TempDir()
+	n, chunkErrs, err := Read(dir, "nothing", func(r row) error { return nil })
+	if err != nil || n != 0 || chunkErrs != 0 {
+		t.Fatalf("empty read: %d %d %v", n, chunkErrs, err)
+	}
+}

@@ -1,0 +1,436 @@
+package synthweb
+
+import (
+	"fmt"
+	"strings"
+
+	"webtextie/internal/mimetype"
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+// renderPage materializes a regular page.
+func (w *Web) renderPage(h *Host, idx int) *Page {
+	r := w.pageRNG(h, idx)
+	p := &Page{URL: PageURL(h.Name, idx), Host: h, Lang: "en", MIME: mimetype.HTML}
+	p.Portal = idx == 0 || (h.Hub && idx < 4)
+
+	// Noise classes are decided first; they apply to non-portal pages only
+	// (portals are always real HTML hubs).
+	if !p.Portal {
+		switch {
+		case r.Bool(w.cfg.NonHTMLShare):
+			return w.renderBinaryPage(r, p)
+		case r.Bool(w.cfg.NonEnglishShare):
+			p.Lang = rng.Pick(r, []string{"de", "fr", "es", "nl"})
+		case idx >= 2 && r.Bool(w.cfg.MirrorShare):
+			return w.renderMirrorPage(r, h, idx, p)
+		}
+	}
+
+	// Topical gold label.
+	if h.Biomed {
+		p.Relevant = !r.Bool(w.cfg.OffTopicShareOnBiomed)
+	} else {
+		p.Relevant = r.Bool(w.cfg.BiomedShareOnGeneral)
+	}
+	// Portal pages are content-poor: even on biomedical hosts they read as
+	// generic link hubs, which is why classifiers reject them (§2.2).
+	if p.Portal {
+		p.Relevant = false
+	}
+
+	// Generate the main document.
+	switch {
+	case p.Lang != "en":
+		p.NetText = foreignText(r, p.Lang)
+	case p.Portal:
+		d := w.gen.Doc(r, textgen.Irrelevant, p.URL)
+		trimPortal(d)
+		p.Doc = d
+		p.NetText = d.Text
+	case !p.Portal && r.Bool(w.cfg.TooShortShare):
+		// Too-short page: a stub of one or two sentences.
+		d := w.gen.Doc(r, textgen.Irrelevant, p.URL)
+		trimToSentences(d, 1)
+		p.Doc = d
+		p.NetText = d.Text
+	case p.Relevant:
+		d := w.gen.Doc(r, textgen.Relevant, p.URL)
+		p.Doc = d
+		p.NetText = d.Text
+	default:
+		d := w.gen.Doc(r, textgen.Irrelevant, p.URL)
+		p.Doc = d
+		p.NetText = d.Text
+	}
+
+	p.Links = w.pageLinks(r, h, idx, p)
+	p.Body = []byte(w.renderHTML(r, h, idx, p))
+	return p
+}
+
+// trimPortal cuts a document down to a couple of teaser sentences.
+func trimPortal(d *textgen.Doc) { trimToSentences(d, 3) }
+
+func trimToSentences(d *textgen.Doc, n int) {
+	if len(d.Sentences) <= n {
+		return
+	}
+	d.Sentences = d.Sentences[:n]
+	end := d.SentSpans[n-1][1]
+	d.SentSpans = d.SentSpans[:n]
+	d.Text = d.Text[:end]
+	var ms []textgen.Mention
+	for _, m := range d.Mentions {
+		if m.End <= end {
+			ms = append(ms, m)
+		}
+	}
+	d.Mentions = ms
+}
+
+// renderMirrorPage produces a near-copy of an earlier page on the same
+// host: same net text plus a trailing mirror notice, fresh chrome. Exact
+// deduplication misses these; MinHash near-dedup (internal/dedup) catches
+// them.
+func (w *Web) renderMirrorPage(r *rng.RNG, h *Host, idx int, p *Page) *Page {
+	src := w.renderPage(h, idx/2)
+	if !src.MIME.IsTextual() || src.Lang != "en" || src.NetText == "" {
+		// Unusable source: fall through to a regular irrelevant page.
+		d := w.gen.Doc(r, textgen.Irrelevant, p.URL)
+		p.Doc = d
+		p.NetText = d.Text
+		p.Links = w.pageLinks(r, h, idx, p)
+		p.Body = []byte(w.renderHTML(r, h, idx, p))
+		return p
+	}
+	p.MirrorOf = src.URL
+	p.Relevant = src.Relevant
+	p.Doc = src.Doc
+	p.NetText = src.NetText + " This page is a hosted mirror copy of the original article."
+	p.Links = w.pageLinks(r, h, idx, p)
+	p.Body = []byte(w.renderHTML(r, h, idx, p))
+	return p
+}
+
+// renderBinaryPage produces a non-HTML body (PDF, image, archive, or an
+// embedded-slides blob mislabelled as .html — the §5 MIME war story).
+func (w *Web) renderBinaryPage(r *rng.RNG, p *Page) *Page {
+	kind := r.Intn(4)
+	size := 2048 + r.Intn(8192)
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte(r.Intn(256))
+	}
+	switch kind {
+	case 0:
+		p.MIME = mimetype.PDF
+		copy(body, "%PDF-1.4\n")
+		p.URL = strings.TrimSuffix(p.URL, ".html") + ".pdf"
+	case 1:
+		p.MIME = mimetype.Zip
+		copy(body, "PK\x03\x04")
+	case 2:
+		p.MIME = mimetype.PNG
+		copy(body, "\x89PNG\r\n\x1a\n")
+		p.URL = strings.TrimSuffix(p.URL, ".html") + ".png"
+	default:
+		// The nasty case: binary office document served under .html.
+		p.MIME = mimetype.MSWord
+		copy(body, "\xd0\xcf\x11\xe0")
+	}
+	p.Body = body
+	return p
+}
+
+// foreignText produces non-English filler from per-language function-word
+// pools — enough signal for the n-gram identifier to reject it.
+var foreignPools = map[string][]string{
+	"de": strings.Fields(`der die das und ist nicht ein eine mit von auf für
+		werden wurde sind haben nach durch über zwischen patienten studie
+		behandlung ergebnisse zeigten deutliche gruppe wirkung dosis jahre`),
+	"fr": strings.Fields(`le la les de des et est dans pour avec sur une un
+		pas par plus sont ont été patients étude traitement résultats montré
+		réduction significative groupe dose pendant phase années santé`),
+	"es": strings.Fields(`el la los las de que y en es un una con por para
+		no se del al pacientes estudio tratamiento resultados mostraron
+		reducción significativa grupo dosis durante fase años salud`),
+	"nl": strings.Fields(`de het een en van in is dat op te zijn met voor
+		niet aan er om ook patiënten studie behandeling resultaten toonden
+		significante vermindering groep dosis tijdens fase jaren`),
+}
+
+func foreignText(r *rng.RNG, lang string) string {
+	pool := foreignPools[lang]
+	n := 80 + r.Intn(200)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = rng.Pick(r, pool)
+		if i > 0 && i%12 == 0 {
+			words[i-1] += "."
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// pageLinks computes the out-link set of a page: navigational intra-host
+// links plus a few cross-host content links with topical locality.
+func (w *Web) pageLinks(r *rng.RNG, h *Host, idx int, p *Page) []string {
+	var links []string
+	seen := map[string]bool{}
+	add := func(u string) {
+		if !seen[u] && u != p.URL {
+			seen[u] = true
+			links = append(links, u)
+		}
+	}
+
+	nLinks := 4 + r.Intn(12)
+	if p.Portal {
+		nLinks = 15 + r.Intn(30) // hubs are link farms
+	}
+	for i := 0; i < nLinks; i++ {
+		if r.Bool(w.cfg.IntraHostLinkShare) {
+			// Navigational or same-host content link.
+			add(PageURL(h.Name, r.Intn(h.Pages)))
+			continue
+		}
+		// Cross-host link with topical locality. Most cross-host links
+		// point at site front pages (people link to homepages); since
+		// front pages are content-poor portals the classifier rejects,
+		// these chains die after one hop — the §2.2 weak-linking effect.
+		target := w.chooseTargetHost(r, h)
+		if target == nil {
+			continue
+		}
+		ti := 0
+		if r.Bool(0.05) && target.Pages > 1 {
+			ti = r.Intn(target.Pages)
+		}
+		add(PageURL(target.Name, ti))
+	}
+	// Trap entrance: a dynamically generated calendar-style link.
+	if h.Trap && r.Bool(0.3) {
+		add(TrapURL(h.Name, 0))
+	}
+	return links
+}
+
+// chooseTargetHost picks a cross-host link target, respecting topical
+// locality and hub preference.
+func (w *Web) chooseTargetHost(r *rng.RNG, from *Host) *Host {
+	wantBiomed := from.Biomed
+	if from.Biomed && !r.Bool(w.cfg.TopicalLocality) {
+		wantBiomed = false
+	} else if !from.Biomed {
+		// General hosts rarely link into the biomedical web: the paper's
+		// crawl found biomedical sites weakly linked from outside.
+		wantBiomed = r.Bool(0.05)
+	}
+	// Hubs receive a disproportionate share of links (power-law in-degree).
+	for tries := 0; tries < 20; tries++ {
+		var h *Host
+		if r.Bool(0.4) {
+			h = w.Hosts[r.Intn(min(len(hubDomains), len(w.Hosts)))]
+		} else {
+			h = w.Hosts[r.Intn(len(w.Hosts))]
+		}
+		if h != from && h.Biomed == wantBiomed {
+			return h
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// renderTrapPage produces one page of the infinite trap subtree.
+func (w *Web) renderTrapPage(h *Host, depth int) *Page {
+	r := w.pageRNG(h, 1000000+depth)
+	p := &Page{
+		URL:  TrapURL(h.Name, depth),
+		Host: h, MIME: mimetype.HTML, Lang: "en",
+		Relevant: false,
+	}
+	p.NetText = fmt.Sprintf("calendar view %d", depth)
+	// Each trap page links deeper: unbounded unique URLs.
+	p.Links = []string{TrapURL(h.Name, depth+1), TrapURL(h.Name, depth+2)}
+	var b strings.Builder
+	b.WriteString("<html><head><title>Calendar</title></head><body>")
+	fmt.Fprintf(&b, "<p>%s</p>", p.NetText)
+	for _, l := range p.Links {
+		fmt.Fprintf(&b, `<a href="%s">next</a> `, l)
+	}
+	_ = r
+	b.WriteString("</body></html>")
+	p.Body = []byte(b.String())
+	return p
+}
+
+// navLabels and boilerplate fragments for page chrome.
+var navLabels = []string{"Home", "About", "Contact", "News", "Archive", "Search", "Login", "Sitemap"}
+var adPhrases = []string{
+	"Buy now best price online limited offer today only",
+	"Subscribe to our newsletter for weekly updates and deals",
+	"Download our free app for exclusive member benefits",
+	"Click here to win amazing prizes in our daily draw",
+}
+var footerPhrases = []string{
+	"Copyright 2016 All rights reserved", "Privacy Policy", "Terms of Use",
+	"Powered by SiteEngine", "RSS Feed",
+}
+
+// renderHTML assembles the served HTML: head with script/style noise, nav
+// chrome, the article (the gold net text), sidebar ads, footer — then
+// optional markup corruption.
+func (w *Web) renderHTML(r *rng.RNG, h *Host, idx int, p *Page) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head>")
+	fmt.Fprintf(&b, "<title>%s - page %d</title>", h.Name, idx)
+	b.WriteString(`<style>.nav{color:#333}</style><script>var _tr=1;track("` + h.Name + `");</script>`)
+	b.WriteString("</head><body>")
+
+	// Navigation bar: link-dense chrome.
+	b.WriteString(`<nav class="nav">`)
+	for i, l := range p.Links {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, `<a href="%s">%s</a> `, l, navLabels[i%len(navLabels)])
+	}
+	b.WriteString("</nav>")
+
+	// Article: paragraphs of the gold net text. A fraction of paragraphs
+	// renders as lists or tables — the content class boilerplate detection
+	// systematically drops ("tables and lists, which often contain
+	// valuable facts, are not recognized properly in many cases", §4.1).
+	b.WriteString(`<article>`)
+	for _, para := range paragraphs(r, p) {
+		switch {
+		case r.Bool(0.08):
+			b.WriteString("<ul>")
+			for _, item := range splitSentences(para) {
+				fmt.Fprintf(&b, "<li>%s</li>", escapeText(item))
+			}
+			b.WriteString("</ul>\n")
+		case r.Bool(0.06):
+			b.WriteString("<table>")
+			for _, item := range splitSentences(para) {
+				fmt.Fprintf(&b, "<tr><td>%s</td></tr>", escapeText(item))
+			}
+			b.WriteString("</table>\n")
+		default:
+			fmt.Fprintf(&b, "<p>%s</p>\n", escapeText(para))
+		}
+	}
+	b.WriteString("</article>")
+
+	// Sidebar with remaining links and an ad block.
+	b.WriteString(`<div class="sidebar"><ul>`)
+	for i, l := range p.Links {
+		if i < 8 {
+			continue
+		}
+		fmt.Fprintf(&b, `<li><a href="%s">related link %d</a></li>`, l, i)
+	}
+	b.WriteString("</ul>")
+	fmt.Fprintf(&b, `<div class="ad"><a href="http://ads.example/c%d">%s</a></div></div>`,
+		r.Intn(1000), rng.Pick(r, adPhrases))
+
+	// Footer chrome.
+	b.WriteString("<footer>")
+	for _, f := range footerPhrases {
+		fmt.Fprintf(&b, `<a href="http://%s/meta">%s</a> | `, h.Name, f)
+	}
+	b.WriteString("</footer></body></html>")
+
+	html := b.String()
+	if r.Bool(w.cfg.CorruptShare) {
+		html = corrupt(r, html)
+	}
+	return html
+}
+
+// paragraphs splits the net text into paragraph strings along sentence
+// boundaries (3-6 sentences per paragraph).
+func paragraphs(r *rng.RNG, p *Page) []string {
+	if p.Doc == nil {
+		if p.NetText == "" {
+			return nil
+		}
+		return []string{p.NetText}
+	}
+	var out []string
+	spans := p.Doc.SentSpans
+	for i := 0; i < len(spans); {
+		n := 3 + r.Intn(4)
+		j := i + n
+		if j > len(spans) {
+			j = len(spans)
+		}
+		out = append(out, p.Doc.Text[spans[i][0]:spans[j-1][1]])
+		i = j
+	}
+	// Mirror pages carry extra text beyond the source document (the
+	// trailing notice); keep NetText authoritative.
+	if len(p.NetText) > len(p.Doc.Text) {
+		out = append(out, p.NetText[len(p.Doc.Text):])
+	}
+	return out
+}
+
+// splitSentences chops a paragraph at sentence-final periods for list and
+// table rendering.
+func splitSentences(para string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(para); i++ {
+		if para[i] == '.' && (i+1 == len(para) || para[i+1] == ' ') {
+			out = append(out, strings.TrimSpace(para[start:i+1]))
+			start = i + 1
+		}
+	}
+	if rest := strings.TrimSpace(para[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// corrupt introduces the markup defects that dominate real-world HTML
+// ([19]: 95% of pages non-conforming): dropped end tags, misnesting,
+// unquoted attributes, stray end tags.
+func corrupt(r *rng.RNG, html string) string {
+	ops := 1 + r.Intn(3)
+	for i := 0; i < ops; i++ {
+		switch r.Intn(4) {
+		case 0:
+			// Drop some </p> tags.
+			html = strings.Replace(html, "</p>", "", 1+r.Intn(3))
+		case 1:
+			// Drop a </div>.
+			html = strings.Replace(html, "</div>", "", 1)
+		case 2:
+			// Stray end tag injected mid-document.
+			if idx := strings.Index(html, "<article>"); idx >= 0 {
+				html = html[:idx] + "</span>" + html[idx:]
+			}
+		default:
+			// Unquote an attribute.
+			html = strings.Replace(html, `class="nav"`, `class=nav`, 1)
+		}
+	}
+	return html
+}

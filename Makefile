@@ -1,0 +1,41 @@
+# Build / verification entry points. `make verify` is the full gate:
+# build + tests + vet + race detector over the concurrency-heavy packages.
+
+GO ?= go
+
+# Packages with real concurrency (worth the ~100x race-detector slowdown).
+RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
+
+.PHONY: build test vet race fuzz bench bench-baseline verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The crawler package's full suite takes a couple of minutes under -race;
+# the timeout leaves headroom on slow machines.
+race:
+	$(GO) test -race -timeout 15m $(RACE_PKGS)
+
+# Short fuzzing sessions over the HTML pipeline (seeds alone run as part
+# of `make test`).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzTokenizeRepairExtract -fuzztime=30s ./internal/htmlkit/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeEntities -fuzztime=15s ./internal/htmlkit/
+	$(GO) test -run=NONE -fuzz=FuzzExtract -fuzztime=30s ./internal/boiler/
+
+bench:
+	$(GO) test -bench . -benchmem
+
+# Regenerate the committed benchmark baseline (one iteration per
+# benchmark; see BENCH_BASELINE.json and bench_baseline_test.go).
+bench-baseline:
+	$(GO) test -run=NONE -bench . -benchtime 1x | tee /tmp/bench.out
+	$(GO) run ./cmd/benchjson < /tmp/bench.out > BENCH_BASELINE.json
+
+verify: build test vet race

@@ -1,0 +1,74 @@
+package webtextie
+
+// Loader for the committed benchmark baseline (BENCH_BASELINE.json,
+// regenerated with `make bench-baseline`). The baseline records one
+// iteration per benchmark with all b.ReportMetric domain metrics, so
+// regressions in either runtime or reproduced paper values are visible
+// in review as a JSON diff.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+type benchBaseline struct {
+	GoVersion  string `json:"go_version"`
+	Benchmarks []struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// loadBenchBaseline reads BENCH_BASELINE.json from the repo root.
+func loadBenchBaseline(t *testing.T) *benchBaseline {
+	t.Helper()
+	data, err := os.ReadFile("BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	return &b
+}
+
+// TestBenchBaselineWellFormed keeps the committed baseline honest: every
+// entry names a Benchmark, ran at least once, and carries a positive
+// ns/op; names are unique.
+func TestBenchBaselineWellFormed(t *testing.T) {
+	b := loadBenchBaseline(t)
+	if len(b.Benchmarks) == 0 {
+		t.Fatal("baseline holds no benchmarks")
+	}
+	seen := map[string]bool{}
+	for _, e := range b.Benchmarks {
+		if !strings.HasPrefix(e.Name, "Benchmark") {
+			t.Errorf("entry %q does not name a benchmark", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate baseline entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Iterations < 1 {
+			t.Errorf("%s: iterations = %d", e.Name, e.Iterations)
+		}
+		if ns := e.Metrics["ns/op"]; ns <= 0 {
+			t.Errorf("%s: ns/op = %v", e.Name, ns)
+		}
+	}
+	// The headline experiments must stay present in the baseline.
+	for _, want := range []string{
+		"BenchmarkTable1SeedGeneration",
+		"BenchmarkCrawlThroughput",
+		"BenchmarkTable4EntityExtraction",
+		"BenchmarkConsolidatedFlow",
+	} {
+		if !seen[want] {
+			t.Errorf("baseline is missing %s", want)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	analyze [-corpus relevant|irrelevant|medline|pmc] [-dop N] [-quick]
+//	analyze [-corpus relevant|irrelevant|medline|pmc] [-dop N] [-quick] [-metrics]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"webtextie"
+	"webtextie/internal/obs"
 	"webtextie/internal/textgen"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	dop := flag.Int("dop", 4, "degree of parallelism of the local executor")
 	quick := flag.Bool("quick", true, "use the reduced quick configuration")
 	out := flag.String("out", "", "directory for the exported fact database (JSONL chunks); empty = no export")
+	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
 	flag.Parse()
 
 	var kind webtextie.CorpusKind
@@ -75,4 +77,9 @@ func main() {
 	}
 	fmt.Printf("\nTLA-filtered ML gene mentions: %d (raw distinct ML gene names: %d)\n",
 		a.TLARemoved, len(a.RawMLGeneNames))
+
+	if *metrics {
+		fmt.Println("\nmetric registry (obs)")
+		fmt.Print(obs.Default().Snapshot().Text())
+	}
 }

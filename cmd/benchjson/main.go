@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// committed benchmark-baseline format (BENCH_BASELINE.json):
+//
+//	go test -run=NONE -bench . -benchtime 1x | go run ./cmd/benchjson > BENCH_BASELINE.json
+//
+// Each benchmark line ("BenchmarkName-P  iters  v1 unit1  v2 unit2 ...")
+// becomes one entry keyed by name with its metric map; custom units from
+// b.ReportMetric are preserved alongside ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the file-level structure of BENCH_BASELINE.json.
+type Baseline struct {
+	GoVersion  string           `json:"go_version"`
+	GoOS       string           `json:"goos"`
+	GoArch     string           `json:"goarch"`
+	Benchmarks []BenchmarkEntry `json:"benchmarks"`
+}
+
+// BenchmarkEntry is one benchmark result.
+type BenchmarkEntry struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func parseLine(line string) (BenchmarkEntry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchmarkEntry{}, false
+	}
+	e := BenchmarkEntry{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name, e.Procs = e.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchmarkEntry{}, false
+	}
+	e.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+func main() {
+	b := Baseline{GoVersion: runtime.Version(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if e, ok := parseLine(sc.Text()); ok {
+			b.Benchmarks = append(b.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sort.Slice(b.Benchmarks, func(i, j int) bool { return b.Benchmarks[i].Name < b.Benchmarks[j].Name })
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

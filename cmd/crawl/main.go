@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	crawl [-hosts N] [-pages N] [-seed N] [-tunnel N] [-threshold P]
+//	crawl [-hosts N] [-pages N] [-seed N] [-tunnel N] [-threshold P] [-metrics]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"webtextie/internal/corpora"
 	"webtextie/internal/crawler"
 	"webtextie/internal/graph"
+	"webtextie/internal/obs"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
 	"webtextie/internal/synthweb"
@@ -26,6 +27,7 @@ func main() {
 	tunnel := flag.Int("tunnel", 1, "tunnelling depth (1 = stop at irrelevant pages)")
 	threshold := flag.Float64("threshold", 0.5, "classifier relevance threshold")
 	termScale := flag.Int("terms", 10, "seed-term catalogue scale divisor (Table 1 sizes / N)")
+	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
 	flag.Parse()
 
 	lex := textgen.NewLexicon(rng.New(*seed), textgen.DefaultLexiconSizes(), 0.75)
@@ -48,7 +50,7 @@ func main() {
 	cfg := crawler.DefaultConfig()
 	cfg.MaxPages = *pages
 	cfg.Tunnelling = *tunnel
-	res := crawler.New(cfg, web, clf).Run(run.SeedURLs)
+	res := crawler.New(cfg, web, clf).WithMetrics(obs.Default()).Run(run.SeedURLs)
 	st := res.Stats
 
 	fmt.Println("\ncrawl statistics (§4.1)")
@@ -73,5 +75,10 @@ func main() {
 	fmt.Println("\ntop-10 domains by PageRank (Table 2)")
 	for _, h := range graph.TopHosts(g.PageRank(0.85, 100, 1e-10), 10) {
 		fmt.Printf("  %-30s %.5f\n", h.Host, h.Rank)
+	}
+
+	if *metrics {
+		fmt.Println("\nmetric registry (obs)")
+		fmt.Print(obs.Default().Snapshot().Text())
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-scale N] [experiment ...]
+//	experiments [-quick] [-seed N] [-scale N] [-metrics] [experiment ...]
 //
 // Experiments: table1 seeds crawl classifier boilerplate table2 table3
 // fig3 fig4 fig5 warstory fig6 pronouns table4 fig7 fig8 jsd all
@@ -19,12 +19,14 @@ import (
 	"time"
 
 	"webtextie"
+	"webtextie/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced quick configuration")
 	seed := flag.Uint64("seed", 0, "override the generation seed (0 = default)")
 	scale := flag.Int("scale", 0, "override the corpus scale factor (0 = default)")
+	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
 	flag.Parse()
 
 	cfg := webtextie.DefaultConfig()
@@ -84,5 +86,10 @@ func main() {
 		start := time.Now()
 		fmt.Println(run())
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *metrics {
+		fmt.Println("metric registry (obs)")
+		fmt.Print(obs.Default().Snapshot().Text())
 	}
 }

@@ -1,0 +1,61 @@
+package boiler
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"webtextie/internal/rng"
+	"webtextie/internal/synthweb"
+	"webtextie/internal/textgen"
+)
+
+// FuzzExtract drives the full net-text extraction pipeline with arbitrary
+// bytes, seeded with corrupted synthetic-web pages and handcrafted
+// degenerate markup. The extractor must never panic, its counters must
+// stay consistent, and valid-UTF-8 input must yield valid-UTF-8 net text.
+func FuzzExtract(f *testing.F) {
+	lex := textgen.NewLexicon(rng.New(21), textgen.DefaultLexiconSizes(), 0.75)
+	gen := textgen.NewGenerator(22, lex, textgen.DefaultProfiles())
+	cfg := synthweb.DefaultConfig()
+	cfg.Seed = 21
+	cfg.NumHosts = 3
+	cfg.CorruptShare = 1.0
+	web := synthweb.New(cfg, gen)
+	added := 0
+	for _, h := range web.Hosts {
+		for i := 0; i < h.Pages && added < 10; i++ {
+			p, err := web.Fetch(synthweb.PageURL(h.Name, i))
+			if err != nil {
+				continue
+			}
+			f.Add(string(p.Body))
+			added++
+		}
+	}
+	for _, s := range []string{
+		"",
+		"<html><body><p>unclosed<div>and nested",
+		"<td><table><tr>backwards table",
+		"<a href=x>all <a href=y>linked <a href=z>words",
+		"<script>var html = '<p>fake'</script><p>real text here",
+		strings.Repeat("<li>item ", 500),
+		"<div \xff\xfe>binary attr</div> trailing \x00",
+	} {
+		f.Add(s)
+	}
+
+	c := Default()
+	f.Fuzz(func(t *testing.T, html string) {
+		res := c.Extract(html)
+		if res.ContentBlocks < 0 || res.TotalBlocks < 0 || res.ContentBlocks > res.TotalBlocks {
+			t.Fatalf("inconsistent block counts: %+v", res)
+		}
+		if res.TotalBlocks == 0 && res.NetText != "" {
+			t.Fatalf("net text %q from zero blocks", res.NetText)
+		}
+		if utf8.ValidString(html) && !utf8.ValidString(res.NetText) {
+			t.Fatalf("Extract produced invalid UTF-8 from valid input: %q", res.NetText)
+		}
+	})
+}

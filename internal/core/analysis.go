@@ -6,6 +6,7 @@ import (
 	"webtextie/internal/corpora"
 	"webtextie/internal/dataflow"
 	"webtextie/internal/ling"
+	"webtextie/internal/obs"
 	"webtextie/internal/stats"
 	"webtextie/internal/textgen"
 )
@@ -125,8 +126,11 @@ func (s *System) AnalyzeCorpusFunc(reg *Registry, c *corpora.Corpus, dop int,
 	for i, d := range c.Docs {
 		records[i] = dataflow.Record{"id": d.ID, "text": d.Text}
 	}
+	// Per-operator counters/latency go to the process registry (dumped by
+	// the cmds' -metrics flag); AnalyzeAll runs corpora sequentially, so
+	// the shared registry keeps ExecStats exact.
 	results, execStats, err := dataflow.Execute(plan, records,
-		dataflow.ExecConfig{DoP: dop})
+		dataflow.ExecConfig{DoP: dop, Metrics: obs.Default()})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %v: %w", c.Kind, err)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"webtextie/internal/classify"
 	"webtextie/internal/crawler"
+	"webtextie/internal/obs"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
 	"webtextie/internal/synthweb"
@@ -201,8 +202,9 @@ func Build(cfg BuildConfig) *Set {
 		seeds.ScaledSizes(seeds.PaperSizes(), cfg.SeedTermScale))
 	run := seeds.Generate(seeds.DefaultEngines(cfg.Seed+4, web), catalog)
 
-	// Focused crawl.
-	cr := crawler.New(cfg.Crawl, web, clf)
+	// Focused crawl, reporting into the process metric registry (the
+	// cmds' -metrics flag dumps it at exit).
+	cr := crawler.New(cfg.Crawl, web, clf).WithMetrics(obs.Default())
 	crawlRes := cr.Run(run.SeedURLs)
 
 	set := &Set{

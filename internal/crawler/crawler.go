@@ -21,6 +21,7 @@ import (
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/langid"
 	"webtextie/internal/mimetype"
+	"webtextie/internal/obs"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
 )
@@ -163,6 +164,56 @@ type Result struct {
 	IrrelevantPages []CrawledPage
 	LinkDB          *crawldb.LinkDB
 	CrawlDB         *crawldb.CrawlDB
+	// Metrics is the crawl's obs registry frozen at the end of Run —
+	// per-cycle fetch counts, filter/classify counters, frontier gauges,
+	// politeness-stall and per-page cost histograms.
+	Metrics obs.Snapshot
+}
+
+// metrics bundles the crawler's obs instruments. Counters mirror the
+// fields of Stats (kept for API compatibility); the histograms expose the
+// distributions Stats cannot: fetches per cycle, politeness stalls, and
+// per-page cost on the virtual clock.
+type metrics struct {
+	reg *obs.Registry
+
+	cycles, fetchOK, fetchErr, fetchBytes *obs.Counter
+	robotsBlocked, stalls, links          *obs.Counter
+	filterMIME, filterLang, filterLength  *obs.Counter
+	classifyRelevant, classifyIrrelevant  *obs.Counter
+	entityBoosted, selfTrain              *obs.Counter
+	frontierPending, frontierKnown        *obs.Gauge
+	virtualMs                             *obs.Gauge
+	cycleFetched, stallMs, pageCost       *obs.Histogram
+}
+
+// cycleBuckets histogram the number of fetches per generate/fetch cycle.
+var cycleBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:                reg,
+		cycles:             reg.Counter("crawler.cycles"),
+		fetchOK:            reg.Counter("crawler.fetch.ok"),
+		fetchErr:           reg.Counter("crawler.fetch.errors"),
+		fetchBytes:         reg.Counter("crawler.fetch.bytes"),
+		robotsBlocked:      reg.Counter("crawler.robots.blocked"),
+		stalls:             reg.Counter("crawler.politeness.stalls"),
+		links:              reg.Counter("crawler.links.discovered"),
+		filterMIME:         reg.Counter("crawler.filter.mime"),
+		filterLang:         reg.Counter("crawler.filter.lang"),
+		filterLength:       reg.Counter("crawler.filter.length"),
+		classifyRelevant:   reg.Counter("crawler.classify.relevant"),
+		classifyIrrelevant: reg.Counter("crawler.classify.irrelevant"),
+		entityBoosted:      reg.Counter("crawler.entity.boosted"),
+		selfTrain:          reg.Counter("crawler.selftrain.updates"),
+		frontierPending:    reg.Gauge("crawler.frontier.pending"),
+		frontierKnown:      reg.Gauge("crawler.frontier.known"),
+		virtualMs:          reg.Gauge("crawler.virtual.ms"),
+		cycleFetched:       reg.Histogram("crawler.cycle.fetched", cycleBuckets...),
+		stallMs:            reg.Histogram("crawler.politeness.stall.ms", obs.DefaultMsBuckets...),
+		pageCost:           reg.Histogram("crawler.page.cost.ms", obs.DefaultMsBuckets...),
+	}
 }
 
 // Crawler wires the components together.
@@ -192,6 +243,7 @@ type Crawler struct {
 	relevant, irrelevant []CrawledPage
 
 	stats Stats
+	m     *metrics
 }
 
 // New builds a crawler over a synthetic web with a trained classifier.
@@ -211,7 +263,17 @@ func New(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes) *Crawler {
 		perHost:     map[string]int{},
 		hostFree:    map[string]int64{},
 		workerFree:  make([]int64, cfg.Workers),
+		m:           newMetrics(obs.New()),
 	}
+}
+
+// WithMetrics points the crawler's instruments at the given registry
+// (e.g. obs.Default() for a process-wide `--metrics` dump). By default
+// each crawler writes into a fresh private registry, snapshotted into
+// Result.Metrics. Returns the crawler for chaining.
+func (c *Crawler) WithMetrics(reg *obs.Registry) *Crawler {
+	c.m = newMetrics(obs.Or(reg))
+	return c
 }
 
 // WithEntityMatchers supplies the dictionary matchers the EntityBoost
@@ -250,6 +312,7 @@ func (c *Crawler) inject(url string, depth int) {
 	}
 	if !rb.Allowed(path) {
 		c.stats.RobotsBlocked++
+		c.m.robotsBlocked.Inc()
 		return
 	}
 	if c.db.Inject(url, host) {
@@ -269,17 +332,26 @@ func (c *Crawler) Run(seedURLs []string) *Result {
 		if c.cfg.MaxPages > 0 && c.stats.Fetched >= c.cfg.MaxPages {
 			break
 		}
+		c.m.frontierPending.Set(int64(c.db.Pending()))
+		c.m.frontierKnown.Set(int64(c.db.Known()))
 		list := c.db.Generate(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle)
 		if len(list) == 0 {
 			c.stats.FrontierEmptied = true
 			break
 		}
 		c.stats.Cycles++
+		c.m.cycles.Inc()
+		before := c.stats.Fetched
 		c.fetchCycle(list)
+		c.m.cycleFetched.Observe(float64(c.stats.Fetched - before))
 	}
+	c.m.frontierPending.Set(int64(c.db.Pending()))
+	c.m.frontierKnown.Set(int64(c.db.Known()))
+	c.m.virtualMs.Set(c.stats.VirtualMs)
 	res := &Result{Stats: c.stats, LinkDB: c.ldb, CrawlDB: c.db}
 	res.Relevant = c.relevant
 	res.IrrelevantPages = c.irrelevant
+	res.Metrics = c.m.reg.Snapshot()
 	return res
 }
 
@@ -293,7 +365,10 @@ func (c *Crawler) fetchCycle(list []crawldb.FetchItem) {
 }
 
 // advanceClock schedules one fetch on the discrete-event clock and returns
-// nothing; stats.VirtualMs tracks the latest completion time.
+// nothing; stats.VirtualMs tracks the latest completion time. Politeness
+// stalls — time the chosen worker sits idle waiting for the target host's
+// crawl delay to elapse — and the resulting per-page cost are observed on
+// the virtual clock, so the histograms are deterministic for a given seed.
 func (c *Crawler) advanceClock(host string, delayMs int) {
 	// Earliest available worker.
 	w := 0
@@ -304,9 +379,14 @@ func (c *Crawler) advanceClock(host string, delayMs int) {
 	}
 	start := c.workerFree[w]
 	if hf := c.hostFree[host]; hf > start {
+		c.m.stalls.Inc()
+		c.m.stallMs.Observe(float64(hf - start))
 		start = hf
 	}
 	end := start + int64(c.cfg.FetchCostMs) + int64(c.cfg.ProcessCostMs)
+	// Per-page processing cost: worker-available to page done, stalls
+	// included (the §4.1 "3-4 documents per second" accounting).
+	c.m.pageCost.Observe(float64(end - c.workerFree[w]))
 	c.workerFree[w] = end
 	c.hostFree[host] = start + int64(delayMs)
 	if end > c.stats.VirtualMs {
@@ -321,15 +401,19 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	page, err := c.web.Fetch(item.URL)
 	if err != nil {
 		c.stats.FetchErrors++
+		c.m.fetchErr.Inc()
 		c.db.SetStatus(item.URL, crawldb.Failed)
 		return
 	}
 	c.stats.Fetched++
+	c.m.fetchOK.Inc()
+	c.m.fetchBytes.Add(int64(len(page.Body)))
 	c.perHost[item.Host]++
 
 	// MIME filter (content-based detection, the Tika lesson of §5).
 	if !mimetype.Detect(item.URL, page.Body).IsTextual() {
 		c.stats.FilteredMIME++
+		c.m.filterMIME.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		return
 	}
@@ -341,6 +425,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	// Length filters.
 	if len(netText) > c.cfg.MaxNetTextLen {
 		c.stats.FilteredLength++
+		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		return
 	}
@@ -348,18 +433,21 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	// Language filter.
 	if !c.lang.IsEnglish(netText) {
 		c.stats.FilteredLang++
+		c.m.filterLang.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		return
 	}
 
 	if len(netText) < c.cfg.MinNetTextLen {
 		c.stats.FilteredLength++
+		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		return
 	}
 
 	// Record the link structure of every parsed page.
 	c.ldb.AddLinks(page.URL, page.Links)
+	c.m.links.Add(int64(len(page.Links)))
 
 	// Relevance classification on the extracted net text.
 	prob := c.clf.ProbRelevant(netText)
@@ -371,6 +459,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		if c.entityDensity(netText) >= c.cfg.EntityBoostDensity {
 			relevant = true
 			c.stats.EntityBoosted++
+			c.m.entityBoosted.Inc()
 		}
 	}
 
@@ -380,9 +469,11 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		if prob >= 0.5+margin {
 			c.clf.Learn(netText, classify.Relevant)
 			c.stats.SelfTrainUpdates++
+			c.m.selfTrain.Inc()
 		} else if prob <= 0.5-margin {
 			c.clf.Learn(netText, classify.Irrelevant)
 			c.stats.SelfTrainUpdates++
+			c.m.selfTrain.Inc()
 		}
 	}
 	c.db.SetStatus(item.URL, crawldb.Fetched)
@@ -397,6 +488,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	depth := c.tunnelDepth[item.URL]
 	if relevant {
 		c.stats.Relevant++
+		c.m.classifyRelevant.Inc()
 		c.stats.RelevantBytes += len(page.Body)
 		c.relevant = append(c.relevant, stored)
 		for _, l := range page.Links {
@@ -405,6 +497,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		return
 	}
 	c.stats.Irrelevant++
+	c.m.classifyIrrelevant.Inc()
 	c.stats.IrrelevantBytes += len(page.Body)
 	c.irrelevant = append(c.irrelevant, stored)
 	// Tunnelling: follow links from irrelevant pages up to depth n-1.

@@ -3,8 +3,9 @@ package dataflow
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"webtextie/internal/obs"
 )
 
 // ExecConfig controls plan execution.
@@ -13,6 +14,13 @@ type ExecConfig struct {
 	DoP int
 	// ChannelBuffer sizes the inter-operator queues.
 	ChannelBuffer int
+	// Metrics receives the execution's per-operator counters, latency
+	// histograms, and queue gauges. Nil uses a fresh private registry so
+	// ExecStats stays exact; pass obs.Default() (or any shared registry)
+	// to accumulate across executions. Sharing one registry between
+	// *concurrent* executions keeps the metric totals exact but makes the
+	// per-execution ExecStats deltas approximate.
+	Metrics *obs.Registry
 }
 
 // DefaultExecConfig uses DoP 4.
@@ -45,6 +53,36 @@ func (s *ExecStats) TotalErrors() int64 {
 	return t
 }
 
+// nodeMetrics bundles one node's obs instruments. The executor's bespoke
+// atomic counters were replaced by these: ExecStats is now derived from
+// registry deltas after the run.
+type nodeMetrics struct {
+	in, out, errs          *obs.Counter
+	in0, out0, errs0       int64 // registry values before this execution
+	latency                *obs.Histogram
+	queueDepth, queueWater *obs.Gauge
+}
+
+// MetricName returns the obs registry name for one per-operator metric of
+// a plan node: dataflow.op.<id>.<opname>.<metric>. Ids are zero-padded so
+// rendered snapshots sort in plan order.
+func MetricName(n *Node, metric string) string {
+	return fmt.Sprintf("dataflow.op.%02d.%s.%s", n.id, n.Op.Name, metric)
+}
+
+func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
+	m := &nodeMetrics{
+		in:         reg.Counter(MetricName(n, "in")),
+		out:        reg.Counter(MetricName(n, "out")),
+		errs:       reg.Counter(MetricName(n, "errors")),
+		latency:    reg.Histogram(MetricName(n, "ms"), obs.DefaultMsBuckets...),
+		queueDepth: reg.Gauge(MetricName(n, "queue.depth")),
+		queueWater: reg.Gauge(MetricName(n, "queue.highwater")),
+	}
+	m.in0, m.out0, m.errs0 = m.in.Value(), m.out.Value(), m.errs.Value()
+	return m
+}
+
 // Execute runs the plan over the input records. Records are fed to every
 // node without inputs; the returned map holds the records that reached
 // each sink node (keyed by node id).
@@ -58,11 +96,19 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	if cfg.ChannelBuffer <= 0 {
 		cfg.ChannelBuffer = 64
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	start := time.Now()
+	reg.Counter("dataflow.executions").Inc()
+	inflight := reg.Gauge("dataflow.records.inflight")
 
 	stats := &ExecStats{PerNode: map[int]*NodeStats{}}
+	metrics := map[int]*nodeMetrics{}
 	for _, n := range p.nodes {
 		stats.PerNode[n.id] = &NodeStats{}
+		metrics[n.id] = newNodeMetrics(reg, n)
 	}
 
 	// Topology.
@@ -101,16 +147,18 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	var nodeWG sync.WaitGroup
 	for _, n := range p.nodes {
 		ns := stats.PerNode[n.id]
+		nm := metrics[n.id]
 		if n.Op.Init != nil {
 			t0 := time.Now()
 			if err := n.Op.Init(); err != nil {
 				return nil, nil, fmt.Errorf("dataflow: init %q: %w", n.Op.Name, err)
 			}
 			ns.InitTime = time.Since(t0)
+			reg.Histogram("dataflow.init.ms", obs.DefaultMsBuckets...).ObserveDuration(ns.InitTime)
 		}
 		outs := readers[n]
 		emit := func(rec Record) {
-			atomic.AddInt64(&ns.Out, 1)
+			nm.out.Inc()
 			if sinkSet[n] {
 				resultsMu.Lock()
 				results[n.id] = append(results[n.id], rec)
@@ -126,7 +174,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 			}
 		}
 		nodeWG.Add(1)
-		go func(n *Node, ns *NodeStats, emit Emit) {
+		go func(n *Node, nm *nodeMetrics, emit Emit) {
 			defer nodeWG.Done()
 			var workerWG sync.WaitGroup
 			for w := 0; w < cfg.DoP; w++ {
@@ -134,13 +182,20 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 				go func() {
 					defer workerWG.Done()
 					for rec := range inCh[n] {
-						atomic.AddInt64(&ns.In, 1)
-						if err := n.Op.Fn(rec, emit); err != nil {
-							if err != ErrStopFlow {
-								atomic.AddInt64(&ns.Errors, 1)
-							}
+						depth := int64(len(inCh[n]))
+						nm.queueDepth.Set(depth)
+						nm.queueWater.Max(depth)
+						nm.in.Inc()
+						inflight.Add(1)
+						t0 := time.Now()
+						err := n.Op.Fn(rec, emit)
+						nm.latency.ObserveDuration(time.Since(t0))
+						inflight.Add(-1)
+						if err != nil && err != ErrStopFlow {
+							nm.errs.Inc()
 						}
 					}
+					nm.queueDepth.Set(0)
 				}()
 			}
 			workerWG.Wait()
@@ -148,7 +203,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 			for _, r := range readers[n] {
 				upstreams[r].Done()
 			}
-		}(n, ns, emit)
+		}(n, nm, emit)
 	}
 
 	// Feed sources. With several source nodes, each gets its own copy of
@@ -174,5 +229,13 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 
 	nodeWG.Wait()
 	stats.Wall = time.Since(start)
+	reg.Histogram("dataflow.wall.ms", obs.DefaultMsBuckets...).ObserveDuration(stats.Wall)
+	// Fill the public per-node stats from the registry deltas.
+	for _, n := range p.nodes {
+		ns, nm := stats.PerNode[n.id], metrics[n.id]
+		ns.In = nm.in.Value() - nm.in0
+		ns.Out = nm.out.Value() - nm.out0
+		ns.Errors = nm.errs.Value() - nm.errs0
+	}
 	return results, stats, nil
 }

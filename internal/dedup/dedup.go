@@ -16,6 +16,8 @@ package dedup
 import (
 	"strings"
 	"sync"
+
+	"webtextie/internal/obs"
 )
 
 // SignatureSize is the number of MinHash components.
@@ -114,6 +116,21 @@ type Index struct {
 	buckets []map[uint64][]int // per band: bucket-hash -> entry ids
 	ids     []string
 	sigs    []Signature
+
+	cIndexed, cDup, cCand *obs.Counter
+}
+
+// WithMetrics redirects the index's counters (dedup.indexed,
+// dedup.duplicates, dedup.candidates) to the given registry; the default
+// is obs.Default(). Returns the index for chaining.
+func (x *Index) WithMetrics(reg *obs.Registry) *Index {
+	reg = obs.Or(reg)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.cIndexed = reg.Counter("dedup.indexed")
+	x.cDup = reg.Counter("dedup.duplicates")
+	x.cCand = reg.Counter("dedup.candidates")
+	return x
 }
 
 // NewIndex builds an index with the given duplicate threshold (0 < t < 1)
@@ -125,7 +142,7 @@ func NewIndex(threshold float64) *Index {
 	for i := range idx.buckets {
 		idx.buckets[i] = map[uint64][]int{}
 	}
-	return idx
+	return idx.WithMetrics(nil)
 }
 
 // Len returns the number of indexed documents.
@@ -158,11 +175,14 @@ func (x *Index) AddOrFind(id string, sig Signature) (dupOf string, dup bool) {
 				continue
 			}
 			seen[cand] = true
+			x.cCand.Inc()
 			if Similarity(sig, x.sigs[cand]) >= x.Threshold {
+				x.cDup.Inc()
 				return x.ids[cand], true
 			}
 		}
 	}
+	x.cIndexed.Inc()
 	entry := len(x.ids)
 	x.ids = append(x.ids, id)
 	x.sigs = append(x.sigs, sig)

@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"webtextie/internal/obs"
 )
 
 // Writer writes records into numbered chunk files
@@ -30,6 +32,19 @@ type Writer struct {
 	written int64
 	chunk   int
 	records int64
+
+	cRecords, cChunks, cBytes *obs.Counter
+}
+
+// WithMetrics redirects the writer's counters (store.write.records,
+// store.write.chunks, store.write.bytes) to the given registry; the
+// default is obs.Default(). Returns the writer for chaining.
+func (w *Writer) WithMetrics(reg *obs.Registry) *Writer {
+	r := obs.Or(reg)
+	w.cRecords = r.Counter("store.write.records")
+	w.cChunks = r.Counter("store.write.chunks")
+	w.cBytes = r.Counter("store.write.bytes")
+	return w
 }
 
 // NewWriter creates the directory (if needed) and opens the first chunk.
@@ -41,6 +56,7 @@ func NewWriter(dir, prefix string, chunkBytes int64) (*Writer, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	w := &Writer{dir: dir, prefix: prefix, chunkBytes: chunkBytes, chunk: -1}
+	w.WithMetrics(nil)
 	if err := w.roll(); err != nil {
 		return nil, err
 	}
@@ -52,6 +68,7 @@ func (w *Writer) roll() error {
 		return err
 	}
 	w.chunk++
+	w.cChunks.Inc()
 	name := filepath.Join(w.dir, fmt.Sprintf("%s-%05d.jsonl.gz", w.prefix, w.chunk))
 	f, err := os.Create(name)
 	if err != nil {
@@ -98,6 +115,8 @@ func (w *Writer) Write(v any) error {
 	}
 	w.written += int64(len(line)) + 1
 	w.records++
+	w.cRecords.Inc()
+	w.cBytes.Add(int64(len(line)) + 1)
 	return nil
 }
 
@@ -129,17 +148,22 @@ func ChunkFiles(dir, prefix string) ([]string, error) {
 
 // Read streams every record of a prefix, decoding each JSON line into a
 // fresh value produced by newV, and invoking fn. A decode error aborts the
-// current chunk but continues with the next (failure isolation).
+// current chunk but continues with the next (failure isolation). Records
+// and chunk errors are counted into obs.Default() (store.read.records,
+// store.read.chunk_errors).
 func Read[T any](dir, prefix string, fn func(T) error) (records int, chunkErrs int, err error) {
 	files, err := ChunkFiles(dir, prefix)
 	if err != nil {
 		return 0, 0, err
 	}
+	reg := obs.Default()
 	for _, path := range files {
 		n, cerr := readChunk(path, fn)
 		records += n
+		reg.Counter("store.read.records").Add(int64(n))
 		if cerr != nil {
 			chunkErrs++
+			reg.Counter("store.read.chunk_errors").Inc()
 		}
 	}
 	return records, chunkErrs, nil

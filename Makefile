@@ -1,12 +1,13 @@
 # Build / verification entry points. `make verify` is the full gate:
-# build + tests + vet + race detector over the concurrency-heavy packages.
+# build + tests + vet + domain lint (cmd/lintx) + race detector over the
+# concurrency-heavy packages.
 
 GO ?= go
 
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet race fuzz bench bench-baseline verify
+.PHONY: build test vet lint race fuzz bench bench-baseline verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Domain static analysis (internal/analysis/checks): determinism,
+# map-iteration order, lock copies, goroutine lifecycles, write-path
+# error handling, metric-name hygiene. `lintx -list` enumerates checks.
+lint:
+	$(GO) run ./cmd/lintx ./...
 
 # The crawler package's full suite takes a couple of minutes under -race;
 # the timeout leaves headroom on slow machines.
@@ -38,4 +45,4 @@ bench-baseline:
 	$(GO) test -run=NONE -bench . -benchtime 1x | tee /tmp/bench.out
 	$(GO) run ./cmd/benchjson < /tmp/bench.out > BENCH_BASELINE.json
 
-verify: build test vet race
+verify: build test vet lint race

@@ -83,9 +83,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", name, known)
 			os.Exit(2)
 		}
-		start := time.Now()
+		sp := obs.Default().StartSpan("experiments.run")
 		fmt.Println(run())
-		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %s]\n\n", name, sp.End().Round(time.Millisecond))
 	}
 
 	if *metrics {

@@ -1,0 +1,105 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webtextie/internal/analysis"
+)
+
+// ErrSink flags discarded errors on the persistence write paths: any call
+// into internal/store or internal/crawldb whose error result is dropped —
+// as a bare expression statement, behind go/defer, or assigned to the
+// blank identifier. The store is the pipeline's end product ("structured
+// fact databases", §1); a swallowed Write or Close error silently
+// truncates a chunk that an 80-day crawl paid for. Chunked storage gives
+// failure *isolation*, not failure *tolerance* — the caller still has to
+// look.
+//
+// Intentional best-effort writes must say so:
+// //lintx:ignore errsink <why losing this write is acceptable>.
+var ErrSink = &analysis.Analyzer{
+	Name: "errsink",
+	Doc: "error result of an internal/store or internal/crawldb call discarded " +
+		"(expression statement, go/defer, or blank assignment)",
+	Run: runErrSink,
+}
+
+// errSinkPkgs are the guarded persistence packages.
+var errSinkPkgs = []string{"internal/store", "internal/crawldb"}
+
+func runErrSink(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkSinkCall(pass, info, call, "ignored")
+				}
+			case *ast.DeferStmt:
+				checkSinkCall(pass, info, n.Call, "discarded by defer")
+			case *ast.GoStmt:
+				checkSinkCall(pass, info, n.Call, "discarded by go")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isSinkCall(info, call) {
+					return true
+				}
+				for _, i := range resultErrorIndexes(info, call) {
+					if i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(id.Pos(),
+							"error from %s assigned to blank: check write-path errors", calleeName(info, call))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSinkCall reports a guarded call whose error results vanish whole.
+func checkSinkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, how string) {
+	if !isSinkCall(info, call) || len(resultErrorIndexes(info, call)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s %s: check write-path errors", calleeName(info, call), how)
+}
+
+// isSinkCall reports whether the callee lives in a guarded package.
+func isSinkCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	for _, p := range errSinkPkgs {
+		if pkgPathMatches(f.Pkg().Path(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders the callee for messages (pkg.Func or Type.Method).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "call"
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Pkg().Name() + "." + f.Name()
+}

@@ -1,0 +1,93 @@
+package checks
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webtextie/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// TestGolden runs each analyzer over its fixture package in
+// testdata/src/<check>/ and compares the rendered diagnostics against
+// testdata/<check>.golden. Every fixture pairs true positives with clean
+// variants and at least one lintx:ignore-suppressed case, so this fails
+// on missed findings, on false positives, and — because each golden file
+// is non-empty — whenever a check is disabled outright.
+func TestGolden(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, az := range All() {
+		t.Run(az.Name, func(t *testing.T) {
+			loader, err := analysis.NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", "src", az.Name)
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", dir, err)
+			}
+			diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{az})
+			diags = analysis.Relativize(diags, cwd)
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics: the %s check is not firing", dir, az.Name)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := filepath.Join("testdata", az.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSuppression proves the fixtures' ignore directives are doing
+// work: stripping them must strictly grow each analyzer's finding count.
+func TestGoldenSuppression(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, az := range All() {
+		t.Run(az.Name, func(t *testing.T) {
+			loader, err := analysis.NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", az.Name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pass := &analysis.Pass{Analyzer: az, Pkg: pkg}
+			az.Run(pass)
+			raw := len(pass.Diagnostics())
+			kept := len(analysis.Relativize(analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{az}), cwd))
+			if kept >= raw {
+				t.Errorf("%s: %d findings survive suppression out of %d raw — fixture has no effective ignore directive", az.Name, kept, raw)
+			}
+		})
+	}
+}

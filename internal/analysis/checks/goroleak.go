@@ -1,0 +1,136 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webtextie/internal/analysis"
+)
+
+// GoroLeak flags goroutine launches with no visible lifecycle signal. The
+// dataflow executor and crawler spin up worker fleets per execution; a
+// goroutine that nothing waits on, cancels, or closes outlives the run
+// that spawned it, leaks under the race detector, and skews queue gauges.
+//
+// A `go func(){...}()` passes when its body references any of:
+//
+//   - a WaitGroup handoff (a .Done() or .Wait() call),
+//   - close(ch) — it terminates a consumer and then itself,
+//   - a context.Context value,
+//   - a channel receive or a range over a channel (the goroutine ends
+//     when the channel closes).
+//
+// A `go namedFunc(args)` passes when an argument carries the lifecycle:
+// a context.Context, a channel, or a *sync.WaitGroup.
+var GoroLeak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "goroutine launched without a lifecycle signal (WaitGroup Done/Wait, close, " +
+		"context, or a channel it drains); unbounded goroutines outlive their run",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !hasLifecycleSignal(info, lit.Body) {
+					pass.Reportf(g.Pos(),
+						"goroutine has no lifecycle signal (no WaitGroup, close, context, or channel it drains)")
+				}
+				return true
+			}
+			ok = false
+			for _, arg := range g.Call.Args {
+				if tv, found := info.Types[arg]; found && isLifecycleType(tv.Type) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				pass.Reportf(g.Pos(),
+					"goroutine call carries no lifecycle argument (context, channel, or *sync.WaitGroup)")
+			}
+			return true
+		})
+	}
+}
+
+// hasLifecycleSignal scans a goroutine body for evidence its lifetime is
+// managed.
+func hasLifecycleSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// A channel receive: the goroutine blocks on (and so is bound
+			// to) another party.
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if tv, ok := info.Types[ast.Expr(n)]; ok && isContextType(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleType reports whether an argument type can carry a
+// goroutine's lifecycle: a context, a channel, or a WaitGroup pointer.
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,169 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webtextie/internal/analysis"
+)
+
+// LockCopy flags synchronization state copied by value: parameters and
+// receivers that take a sync.Mutex/RWMutex/WaitGroup (or a struct
+// containing one, or a sync/atomic value) by value, plain assignments
+// that copy such a value, and range loops whose value variable copies
+// one. A copied mutex guards nothing — goroutines lock different
+// memory — and a copied WaitGroup waits on a counter nobody decrements;
+// under the ROADMAP's heavy-parallel-traffic north star this is the most
+// expensive class of silent bug.
+//
+// This overlaps `go vet -copylocks` on purpose: the vet pass only runs in
+// `make verify`, while lintx also covers the repo-specific analyzers, so
+// the invariant is stated in both gates.
+var LockCopy = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc: "sync.Mutex/RWMutex/WaitGroup or sync/atomic value passed, received, or assigned by value; " +
+		"copies desynchronize — share locks by pointer",
+	Run: runLockCopy,
+}
+
+// syncTypes and atomicTypes are the by-value-unsafe types.
+var syncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Value": true, "Pointer": true,
+}
+
+func runLockCopy(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(pass, info, n.Recv, "receiver")
+				}
+				checkLockFields(pass, info, n.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkLockFields(pass, info, n.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if copiesLockValue(info, rhs) {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies a value containing %s by value", lockIn(info.Types[rhs].Type))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := info.Types[n.Value].Type; t != nil && containsLock(t, nil) {
+						pass.Reportf(n.Value.Pos(),
+							"range value copies a value containing %s per iteration", lockIn(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields flags by-value lock-carrying entries of a field list.
+func checkLockFields(pass *analysis.Pass, info *types.Info, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		if _, isPtr := field.Type.(*ast.StarExpr); isPtr {
+			continue
+		}
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil || !containsLock(tv.Type, nil) {
+			continue
+		}
+		pass.Reportf(field.Pos(), "%s passes a value containing %s by value: use a pointer", kind, lockIn(tv.Type))
+	}
+}
+
+// copiesLockValue reports whether rhs copies existing memory (identifier,
+// field, dereference, or element read — not a fresh composite literal or
+// call result) of a lock-containing type.
+func copiesLockValue(info *types.Info, rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[rhs]
+	return ok && tv.Type != nil && containsLock(tv.Type, nil)
+}
+
+// containsLock walks a type for by-value sync or sync/atomic state.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				if atomicTypes[obj.Name()] {
+					return true
+				}
+			}
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}
+
+// lockIn names the first lock type found inside t, for messages.
+func lockIn(t types.Type) string {
+	name := "a lock"
+	var walk func(types.Type, map[types.Type]bool) bool
+	walk = func(t types.Type, seen map[types.Type]bool) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Named:
+			if obj := t.Obj(); obj != nil && obj.Pkg() != nil {
+				p := obj.Pkg().Path()
+				if (p == "sync" && syncTypes[obj.Name()]) || (p == "sync/atomic" && atomicTypes[obj.Name()]) {
+					name = p + "." + obj.Name()
+					return true
+				}
+			}
+			return walk(t.Underlying(), seen)
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				if walk(t.Field(i).Type(), seen) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(t.Elem(), seen)
+		}
+		return false
+	}
+	walk(t, map[types.Type]bool{})
+	return name
+}

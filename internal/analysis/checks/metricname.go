@@ -1,0 +1,78 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"webtextie/internal/analysis"
+)
+
+// MetricName enforces the obs registry's naming contract at every
+// call site of Registry.Counter/Gauge/Histogram/StartSpan: the name must
+// be a compile-time constant matching the dotted lower-case grammar
+//
+//	name    = segment "." segment { "." segment }
+//	segment = [a-z0-9_]+          (first segment starts with a letter)
+//
+// Constant names keep snapshot diffs stable across builds (renames show
+// up in golden tests, not in production dashboards) and bound registry
+// cardinality — a name interpolated from request data would grow the
+// registry without limit. The one sanctioned builder is a function named
+// MetricName (dataflow's per-operator namer), which owns the grammar for
+// computed names.
+var MetricName = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "obs registry keys must be compile-time constants matching the dotted " +
+		"lower-case grammar (or built by a MetricName helper)",
+	Run: runMetricName,
+}
+
+// metricNameRE is the dotted-name grammar.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// metricMethods are the Registry methods whose first argument is a name.
+var metricMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "StartSpan": true,
+}
+
+func runMetricName(pass *analysis.Pass) {
+	// The registry itself composes names internally (StartSpan's ".ms").
+	if pkgPathMatches(pass.Pkg.PkgPath, "internal/obs") {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			if !metricMethods[fn.Name()] {
+				return true
+			}
+			arg := call.Args[0]
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"metric name %q violates the dotted-name grammar (lower-case segments joined by dots)", name)
+				}
+				return true
+			}
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if f := calleeFunc(info, inner); f != nil && f.Name() == "MetricName" {
+					return true
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"metric name passed to %s must be a compile-time constant (or a MetricName builder call): "+
+					"dynamic names destabilize snapshot diffs and unbound registry cardinality", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,23 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads and math/rand imports are flagged; suppressed lines are not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice — both flagged.
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Roll draws from the global math/rand source; the import is flagged.
+func Roll() int { return rand.Intn(6) }
+
+// Stamp is suppressed: the harness wants one real timestamp.
+func Stamp() time.Time {
+	//lintx:ignore determinism report header wants one real timestamp
+	return time.Now()
+}

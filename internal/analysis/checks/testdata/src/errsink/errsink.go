@@ -1,0 +1,32 @@
+// Package errsink exercises the errsink analyzer: discarded errors on
+// internal/store write paths are flagged; checked calls and suppressed
+// best-effort writes are not.
+package errsink
+
+import "webtextie/internal/store"
+
+// Drop swallows the write error and blanks the close error — both flagged.
+func Drop(w *store.Writer, v any) {
+	w.Write(v)
+	_ = w.Close()
+}
+
+// DeferClose discards the final chunk flush behind defer — flagged.
+func DeferClose(w *store.Writer, v any) error {
+	defer w.Close()
+	return w.Write(v)
+}
+
+// Checked is the correct shape — not flagged.
+func Checked(w *store.Writer, v any) error {
+	if err := w.Write(v); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// BestEffort is suppressed: an advisory write whose loss is acceptable.
+func BestEffort(w *store.Writer, v any) {
+	//lintx:ignore errsink advisory cache write; loss is acceptable
+	w.Write(v)
+}

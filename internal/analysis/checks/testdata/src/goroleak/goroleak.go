@@ -1,0 +1,55 @@
+// Package goroleak exercises the goroleak analyzer: goroutines with no
+// lifecycle signal are flagged; WaitGroup/channel/context-bound ones and
+// suppressed daemons are not.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget launches a worker nothing waits on — flagged.
+func FireAndForget() {
+	go func() {
+		println("orphan")
+	}()
+}
+
+// Orphan passes no lifecycle-shaped argument — flagged.
+func Orphan() {
+	go step(3)
+}
+
+func step(n int) { _ = n }
+
+// Drain ends when the producer closes the channel — not flagged.
+func Drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Tracked hands its completion to a WaitGroup — not flagged.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Watched passes a context to a named function — not flagged.
+func Watched(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Daemon is suppressed: a process-lifetime flusher by design.
+func Daemon() {
+	//lintx:ignore goroleak process-lifetime metrics flusher by design
+	go func() {
+		println("flush")
+	}()
+}

@@ -1,0 +1,35 @@
+// Package lockcopy exercises the lockcopy analyzer: receivers, params,
+// and assignments that copy a lock by value are flagged; pointer passing
+// and suppressed copies are not.
+package lockcopy
+
+import "sync"
+
+// Guarded couples a mutex with the state it guards.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the receiver's mutex on every call — flagged.
+func (g Guarded) ByValue() int { return g.n }
+
+// Take copies its argument's mutex — flagged.
+func Take(g Guarded) int { return g.n }
+
+// Snapshot copies the whole guarded struct — flagged.
+func Snapshot(g *Guarded) int {
+	c := *g
+	return c.n
+}
+
+// Ptr passes by pointer — not flagged.
+func (g *Guarded) Ptr() int { return g.n }
+
+// FromZero is suppressed: copying the zero value before first use.
+func FromZero() int {
+	var g Guarded
+	//lintx:ignore lockcopy zero-value copy before the lock is ever held
+	c := g
+	return c.n
+}

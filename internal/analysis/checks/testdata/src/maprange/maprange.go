@@ -1,0 +1,42 @@
+// Package maprange exercises the maprange analyzer: map iteration feeding
+// an ordered sink without a sort is flagged; the collect-then-sort idiom
+// and suppressed loops are not.
+package maprange
+
+import "sort"
+
+// Keys leaks map order: appends without a subsequent sort — flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts — the sanctioned idiom, not flagged.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stream sends map entries on a channel in iteration order — flagged.
+func Stream(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Batch is suppressed: the consumer merges and sorts downstream.
+func Batch(m map[string]int) []string {
+	var out []string
+	//lintx:ignore maprange consumer sorts the merged batch downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package metricname exercises the metricname analyzer: non-constant or
+// grammar-violating registry keys are flagged; constant dotted names, the
+// MetricName builder, and suppressed legacy keys are not.
+package metricname
+
+import "webtextie/internal/obs"
+
+// Good uses a constant dotted name — not flagged.
+func Good(reg *obs.Registry) {
+	reg.Counter("fixture.good.total").Inc()
+}
+
+// BadGrammar violates the dotted-name grammar — flagged.
+func BadGrammar(reg *obs.Registry) {
+	reg.Counter("Fixture-Total").Inc()
+}
+
+// Dynamic interpolates request data into the key — flagged.
+func Dynamic(reg *obs.Registry, host string) {
+	reg.Counter("fixture." + host).Inc()
+}
+
+// MetricName is the sanctioned builder; it owns the grammar for computed
+// names.
+func MetricName(op string) string { return "fixture." + op }
+
+// Built routes a computed name through the builder — not flagged.
+func Built(reg *obs.Registry, op string) {
+	reg.Counter(MetricName(op)).Inc()
+}
+
+// Legacy is suppressed: a dashboard key kept until the migration lands.
+func Legacy(reg *obs.Registry) {
+	//lintx:ignore metricname legacy dashboard key until the migration lands
+	reg.Counter("LegacyTotal").Inc()
+}

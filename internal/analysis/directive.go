@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full grammar is
+//
+//	//lintx:ignore <check>[,<check>...] <reason>
+//
+// where <check> is an analyzer name or "all", and <reason> (mandatory) is
+// free text explaining why the finding is acceptable. A directive
+// suppresses matching diagnostics on its own line (trailing comment) and
+// on the line directly below (standalone comment above the offending
+// statement).
+const ignorePrefix = "//lintx:ignore"
+
+// ignore is one parsed suppression directive.
+type ignore struct {
+	path   string
+	line   int
+	checks map[string]bool // lower-case names; "all" matches every check
+}
+
+// collectIgnores parses every //lintx:ignore directive in the package.
+// Malformed directives (no check list, or a missing reason) are returned
+// as diagnostics of the pseudo-check "directive" — an unexplained
+// suppression is itself a hygiene violation.
+func collectIgnores(pkg *Package) ([]ignore, []Diagnostic) {
+	var igs []ignore
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Path: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "directive",
+						Message: "malformed directive: want //lintx:ignore <check>[,<check>] <reason>",
+					})
+					continue
+				}
+				checks := map[string]bool{}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						checks[strings.ToLower(name)] = true
+					}
+				}
+				igs = append(igs, ignore{path: pos.Filename, line: pos.Line, checks: checks})
+			}
+		}
+	}
+	return igs, bad
+}
+
+// suppressed reports whether a diagnostic is covered by any directive.
+func suppressed(d Diagnostic, igs []ignore) bool {
+	for _, ig := range igs {
+		if d.Path != ig.path {
+			continue
+		}
+		if d.Line != ig.line && d.Line != ig.line+1 {
+			continue
+		}
+		if ig.checks["all"] || ig.checks[d.Check] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Relativize rewrites diagnostic paths relative to base (typically the
+// working directory) for compact, stable reports. Paths outside base are
+// left absolute.
+func Relativize(diags []Diagnostic, base string) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(base, d.Path); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Path = rel
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// WriteText renders one diagnostic per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	Count       int          `json:"count"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders the diagnostics as one JSON object with a stable
+// field order: {"count": N, "diagnostics": [...]}.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Count: len(diags), Diagnostics: diags})
+}

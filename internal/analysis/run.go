@@ -1,0 +1,40 @@
+package analysis
+
+import "sort"
+
+// Run applies every analyzer to every package, drops diagnostics covered
+// by //lintx:ignore directives, and returns the survivors sorted by
+// position (then check name) so output is deterministic.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags := []Diagnostic{}
+	for _, pkg := range pkgs {
+		igs, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Pkg: pkg}
+			az.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d, igs) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -9,6 +9,7 @@ import (
 	"webtextie/internal/dataflow"
 	"webtextie/internal/eval"
 	"webtextie/internal/ling"
+	"webtextie/internal/obs"
 	"webtextie/internal/relex"
 	"webtextie/internal/rng"
 	"webtextie/internal/stats"
@@ -52,11 +53,11 @@ func (e *Experiments) Fig3() string {
 	timeIt := func(f func()) time.Duration {
 		// Repeat to get measurable times on fast paths.
 		const reps = 20
-		start := time.Now()
+		sp := obs.Default().StartSpan("experiments.fig3.probe")
 		for i := 0; i < reps; i++ {
 			f()
 		}
-		return time.Since(start) / reps
+		return sp.End() / reps
 	}
 
 	var r report

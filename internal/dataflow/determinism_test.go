@@ -1,0 +1,41 @@
+package dataflow
+
+import "testing"
+
+// TestTwoRunIdentity: executing the same plan over the same input twice
+// must produce identical sink record sets and identical per-node
+// In/Out/Errors totals. This is the regression gate for the map-iteration
+// audit (lintx maprange/determinism): any iteration-order or wall-clock
+// leak into the executor's observable output shows up as a diff here.
+func TestTwoRunIdentity(t *testing.T) {
+	type run struct {
+		sink  []string
+		stats map[int][3]int64
+	}
+	do := func() run {
+		p := testPlan()
+		out, st := runSingleSink(t, p, input(200), ExecConfig{DoP: 8})
+		perNode := map[int][3]int64{}
+		for id, ns := range st.PerNode {
+			perNode[id] = [3]int64{ns.In, ns.Out, ns.Errors}
+		}
+		return run{canonical(out), perNode}
+	}
+	a, b := do(), do()
+	if len(a.sink) != len(b.sink) {
+		t.Fatalf("sink sizes differ across runs: %d vs %d", len(a.sink), len(b.sink))
+	}
+	for i := range a.sink {
+		if a.sink[i] != b.sink[i] {
+			t.Fatalf("sink record %d differs across runs: %q vs %q", i, a.sink[i], b.sink[i])
+		}
+	}
+	if len(a.stats) != len(b.stats) {
+		t.Fatalf("per-node stats sizes differ: %d vs %d", len(a.stats), len(b.stats))
+	}
+	for id, want := range a.stats {
+		if got := b.stats[id]; got != want {
+			t.Errorf("node %d In/Out/Errors differ across runs: %v vs %v", id, want, got)
+		}
+	}
+}

@@ -100,7 +100,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	if reg == nil {
 		reg = obs.New()
 	}
-	start := time.Now()
+	wall := reg.StartSpan("dataflow.wall")
 	reg.Counter("dataflow.executions").Inc()
 	inflight := reg.Gauge("dataflow.records.inflight")
 
@@ -149,12 +149,11 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		ns := stats.PerNode[n.id]
 		nm := metrics[n.id]
 		if n.Op.Init != nil {
-			t0 := time.Now()
+			sp := reg.Histogram("dataflow.init.ms", obs.DefaultMsBuckets...).Start()
 			if err := n.Op.Init(); err != nil {
 				return nil, nil, fmt.Errorf("dataflow: init %q: %w", n.Op.Name, err)
 			}
-			ns.InitTime = time.Since(t0)
-			reg.Histogram("dataflow.init.ms", obs.DefaultMsBuckets...).ObserveDuration(ns.InitTime)
+			ns.InitTime = sp.End()
 		}
 		outs := readers[n]
 		emit := func(rec Record) {
@@ -187,9 +186,9 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 						nm.queueWater.Max(depth)
 						nm.in.Inc()
 						inflight.Add(1)
-						t0 := time.Now()
+						sp := nm.latency.Start()
 						err := n.Op.Fn(rec, emit)
-						nm.latency.ObserveDuration(time.Since(t0))
+						sp.End()
 						inflight.Add(-1)
 						if err != nil && err != ErrStopFlow {
 							nm.errs.Inc()
@@ -228,8 +227,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	}
 
 	nodeWG.Wait()
-	stats.Wall = time.Since(start)
-	reg.Histogram("dataflow.wall.ms", obs.DefaultMsBuckets...).ObserveDuration(stats.Wall)
+	stats.Wall = wall.End()
 	// Fill the public per-node stats from the registry deltas.
 	for _, n := range p.nodes {
 		ns, nm := stats.PerNode[n.id], metrics[n.id]

@@ -1,0 +1,44 @@
+package dict
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildTwoRunIdentity: two builds from the same surface list must
+// produce structurally identical automata — same node table (edges, fail
+// links, output chains), same build stats, and the same matches. Guards
+// the BFS construction, which walks edge maps in sorted byte order
+// instead of Go's per-run randomized map iteration order.
+func TestBuildTwoRunIdentity(t *testing.T) {
+	surfaces := []string{
+		"p53", "BRCA1", "insulin", "insulin-like growth factor",
+		"growth factor", "kinase", "map kinase", "mapk",
+	}
+	a := Build("genes", surfaces, DefaultOptions())
+	b := Build("genes", surfaces, DefaultOptions())
+
+	if len(a.nodes) != len(b.nodes) {
+		t.Fatalf("node counts differ across runs: %d vs %d", len(a.nodes), len(b.nodes))
+	}
+	for i := range a.nodes {
+		na, nb := &a.nodes[i], &b.nodes[i]
+		if na.fail != nb.fail || na.out != nb.out || na.outLen != nb.outLen || na.outLink != nb.outLink {
+			t.Errorf("node %d links differ across runs: %+v vs %+v", i, *na, *nb)
+		}
+		if !reflect.DeepEqual(na.next, nb.next) {
+			t.Errorf("node %d edges differ across runs: %v vs %v", i, na.next, nb.next)
+		}
+	}
+
+	sa, sb := a.Stats(), b.Stats()
+	sa.BuildTime, sb.BuildTime = 0, 0 // wall clock — the one sanctioned difference
+	if sa != sb {
+		t.Errorf("build stats differ across runs: %+v vs %+v", sa, sb)
+	}
+
+	text := "The insulin-like growth factor pathway activates MAP kinase near p53."
+	if ma, mb := a.Find(text), b.Find(text); !reflect.DeepEqual(ma, mb) {
+		t.Errorf("matches differ across runs:\n  %v\n  %v", ma, mb)
+	}
+}

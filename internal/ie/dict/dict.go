@@ -19,8 +19,11 @@
 package dict
 
 import (
+	"sort"
 	"strings"
 	"time"
+
+	"webtextie/internal/obs"
 )
 
 // Options controls dictionary expansion.
@@ -117,7 +120,7 @@ func expandVariants(term string, opts Options) []string {
 
 // Build constructs the automaton from dictionary surface forms.
 func Build(name string, surfaces []string, opts Options) *Matcher {
-	start := time.Now()
+	sp := obs.Default().StartSpan("dict.build")
 	m := &Matcher{Name: name, opts: opts}
 	m.nodes = append(m.nodes, node{next: map[byte]int32{}, fail: 0})
 
@@ -164,16 +167,20 @@ func Build(name string, surfaces []string, opts Options) *Matcher {
 		}
 	}
 
-	// BFS to set fail links and output chains.
+	// BFS to set fail links and output chains. Edges are walked in byte
+	// order (not map order) so the traversal — and everything derived from
+	// it — is identical across runs.
 	queue := make([]int32, 0, len(m.nodes))
-	for _, nxt := range m.nodes[0].next {
+	for _, c := range sortedEdges(&m.nodes[0]) {
+		nxt := m.nodes[0].next[c]
 		m.nodes[nxt].fail = 0
 		queue = append(queue, nxt)
 	}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for c, v := range m.nodes[u].next {
+		for _, c := range sortedEdges(&m.nodes[u]) {
+			v := m.nodes[u].next[c]
 			queue = append(queue, v)
 			// Follow fail links from u until a state with a c-edge exists.
 			f := m.nodes[u].fail
@@ -197,8 +204,19 @@ func Build(name string, surfaces []string, opts Options) *Matcher {
 		}
 	}
 	m.stats.Nodes = len(m.nodes)
-	m.stats.BuildTime = time.Since(start)
+	m.stats.BuildTime = sp.End()
 	return m
+}
+
+// sortedEdges returns a node's outgoing edge labels in byte order, so BFS
+// never observes Go's per-run randomized map iteration order.
+func sortedEdges(n *node) []byte {
+	cs := make([]byte, 0, len(n.next))
+	for c := range n.next {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
 }
 
 // isWordByte reports whether a byte is part of a word (no boundary).

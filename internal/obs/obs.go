@@ -122,6 +122,12 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// Start begins a span into this histogram — the unnamed counterpart of
+// Registry.StartSpan for hot paths that already hold the histogram.
+// Spans are the only sanctioned wall-clock timer outside this package
+// (the lintx determinism analyzer enforces that).
+func (h *Histogram) Start() Span { return Span{h: h, start: time.Now()} }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

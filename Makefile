@@ -1,13 +1,13 @@
 # Build / verification entry points. `make verify` is the full gate:
 # build + tests + vet + domain lint (cmd/lintx) + race detector over the
-# concurrency-heavy packages.
+# concurrency-heavy packages + the chaos (fault-injection) suite.
 
 GO ?= go
 
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race fuzz bench bench-baseline verify
+.PHONY: build test vet lint race chaos fuzz bench bench-baseline verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ lint:
 race:
 	$(GO) test -race -timeout 15m $(RACE_PKGS)
 
+# Deterministic fault-injection suite under the race detector: chaos
+# crawls over flaky/dead/rate-limited webs, checkpoint/resume identity,
+# and the executor's quarantine / fail-fast / retry paths.
+chaos:
+	$(GO) test -race -timeout 10m \
+		-run 'Chaos|Checkpoint|Resume|Fault|Quarantine|FailFast|OpRetries|Panic' \
+		./internal/synthweb/ ./internal/crawler/ ./internal/dataflow/
+
 # Short fuzzing sessions over the HTML pipeline (seeds alone run as part
 # of `make test`).
 fuzz:
@@ -45,4 +53,4 @@ bench-baseline:
 	$(GO) test -run=NONE -bench . -benchtime 1x | tee /tmp/bench.out
 	$(GO) run ./cmd/benchjson < /tmp/bench.out > BENCH_BASELINE.json
 
-verify: build test vet lint race
+verify: build test vet lint race chaos

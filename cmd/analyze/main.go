@@ -4,6 +4,7 @@
 // Usage:
 //
 //	analyze [-corpus relevant|irrelevant|medline|pmc] [-dop N] [-quick] [-metrics]
+//	        [-error-policy quarantine|failfast] [-op-retries N]
 package main
 
 import (
@@ -23,6 +24,9 @@ func main() {
 	quick := flag.Bool("quick", true, "use the reduced quick configuration")
 	out := flag.String("out", "", "directory for the exported fact database (JSONL chunks); empty = no export")
 	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
+	policy := flag.String("error-policy", "quarantine",
+		"executor response to operator failures: quarantine (count, dead-letter, continue) or failfast (abort the run)")
+	opRetries := flag.Int("op-retries", 0, "per-record operator retry budget before a failure is terminal")
 	flag.Parse()
 
 	var kind webtextie.CorpusKind
@@ -43,6 +47,15 @@ func main() {
 	if *quick {
 		cfg = webtextie.QuickConfig()
 	}
+	switch strings.ToLower(*policy) {
+	case "quarantine", "":
+		cfg.ExecPolicy = webtextie.Quarantine
+	case "failfast":
+		cfg.ExecPolicy = webtextie.FailFast
+	default:
+		log.Fatalf("unknown -error-policy %q (want quarantine or failfast)", *policy)
+	}
+	cfg.ExecOpRetries = *opRetries
 	fmt.Println("building system (corpora, crawl, tagger training)...")
 	sys := webtextie.New(cfg)
 	reg := sys.Registry()
@@ -65,8 +78,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsentences: %d   POS crashes skipped: %d   flow errors: %d\n",
-		a.Sentences, a.PosFailed, a.FlowErrors)
+	fmt.Printf("\nsentences: %d   POS crashes skipped: %d   flow errors: %d   retries: %d   quarantined: %d\n",
+		a.Sentences, a.PosFailed, a.FlowErrors, a.FlowRetries, a.FlowQuarantined)
 	fmt.Printf("%-10s %-8s %14s %16s %18s\n", "class", "method", "mentions", "distinct names", "per 1000 sentences")
 	for _, et := range []webtextie.EntityType{textgen.Disease, textgen.Drug, textgen.Gene} {
 		for _, m := range []webtextie.Method{webtextie.Dict, webtextie.ML} {

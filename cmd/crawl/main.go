@@ -4,11 +4,21 @@
 // Usage:
 //
 //	crawl [-hosts N] [-pages N] [-seed N] [-tunnel N] [-threshold P] [-metrics]
+//	      [-failure-rate P] [-dead-hosts P] [-slow-hosts P] [-ratelimit-hosts P] [-truncate-rate P]
+//	      [-max-retries N] [-breaker-failures N] [-breaker-open-ms N]
+//	      [-checkpoint FILE -checkpoint-cycles N] [-resume FILE]
+//
+// Fault injection is deterministic in the seed: the same flags reproduce
+// the same failures, retries, and breaker trips. A crawl interrupted with
+// -checkpoint and continued with -resume prints the same final statistics
+// as an uninterrupted run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 
 	"webtextie/internal/corpora"
 	"webtextie/internal/crawler"
@@ -28,6 +38,20 @@ func main() {
 	threshold := flag.Float64("threshold", 0.5, "classifier relevance threshold")
 	termScale := flag.Int("terms", 10, "seed-term catalogue scale divisor (Table 1 sizes / N)")
 	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
+	failureRate := flag.Float64("failure-rate", 0, "fraction of URLs with transient fetch failures")
+	deadHosts := flag.Float64("dead-hosts", 0, "fraction of hosts that are persistently down")
+	slowHosts := flag.Float64("slow-hosts", 0, "fraction of hosts with a per-fetch latency spike")
+	rlHosts := flag.Float64("ratelimit-hosts", 0, "fraction of hosts throttling with 429 + retry-after")
+	truncRate := flag.Float64("truncate-rate", 0, "per-(URL, attempt) probability of a truncated body")
+	maxRetries := flag.Int("max-retries", crawler.DefaultConfig().MaxRetries,
+		"retry budget per URL for transient failures (0 disables retrying)")
+	breakerFails := flag.Int("breaker-failures", crawler.DefaultConfig().BreakerFailures,
+		"consecutive host failures that open the circuit breaker (0 disables breakers)")
+	breakerOpenMs := flag.Int("breaker-open-ms", crawler.DefaultConfig().BreakerOpenMs,
+		"virtual ms an open breaker holds before its half-open probe")
+	ckptFile := flag.String("checkpoint", "", "write a checkpoint to FILE after -checkpoint-cycles cycles and exit")
+	ckptCycles := flag.Int("checkpoint-cycles", 5, "cycles to run before writing the -checkpoint file")
+	resumeFile := flag.String("resume", "", "resume the crawl from a checkpoint FILE (same seed/flags as the original run)")
 	flag.Parse()
 
 	lex := textgen.NewLexicon(rng.New(*seed), textgen.DefaultLexiconSizes(), 0.75)
@@ -35,6 +59,11 @@ func main() {
 	webCfg := synthweb.DefaultConfig()
 	webCfg.Seed = *seed
 	webCfg.NumHosts = *hosts
+	webCfg.FailureRate = *failureRate
+	webCfg.DeadHostShare = *deadHosts
+	webCfg.SlowHostShare = *slowHosts
+	webCfg.RateLimitShare = *rlHosts
+	webCfg.TruncateRate = *truncRate
 	web := synthweb.New(webCfg, gen)
 
 	fmt.Printf("synthetic web: %d hosts\n", len(web.Hosts))
@@ -50,7 +79,51 @@ func main() {
 	cfg := crawler.DefaultConfig()
 	cfg.MaxPages = *pages
 	cfg.Tunnelling = *tunnel
-	res := crawler.New(cfg, web, clf).WithMetrics(obs.Default()).Run(run.SeedURLs)
+	cfg.MaxRetries = *maxRetries
+	cfg.BreakerFailures = *breakerFails
+	cfg.BreakerOpenMs = *breakerOpenMs
+
+	var res *crawler.Result
+	switch {
+	case *resumeFile != "":
+		data, err := os.ReadFile(*resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err := crawler.UnmarshalCheckpoint(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := crawler.Resume(cfg, web, clf, cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.WithMetrics(obs.Default())
+		fmt.Printf("resumed from %s at cycle %d (%d pages fetched)\n",
+			*resumeFile, cp.Stats.Cycles, cp.Stats.Fetched)
+		for c.Step() {
+		}
+		res = c.Finish()
+	case *ckptFile != "":
+		c := crawler.New(cfg, web, clf).WithMetrics(obs.Default())
+		c.Seed(run.SeedURLs)
+		for i := 0; i < *ckptCycles && c.Step(); i++ {
+		}
+		cp := c.Checkpoint()
+		data, err := cp.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*ckptFile, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint after %d cycles (%d pages) written to %s (%d bytes)\n",
+			cp.Stats.Cycles, cp.Stats.Fetched, *ckptFile, len(data))
+		fmt.Printf("continue with: crawl -resume %s (plus the same seed/fault/resilience flags)\n", *ckptFile)
+		return
+	default:
+		res = crawler.New(cfg, web, clf).WithMetrics(obs.Default()).Run(run.SeedURLs)
+	}
 	st := res.Stats
 
 	fmt.Println("\ncrawl statistics (§4.1)")
@@ -66,6 +139,10 @@ func main() {
 	fmt.Printf("  download rate:      %.2f docs/s simulated (paper: 3-4)\n", st.DocsPerSecond())
 	fmt.Printf("  frontier emptied:   %v\n", st.FrontierEmptied)
 	fmt.Printf("  robots blocks:      %d\n", st.RobotsBlocked)
+	fmt.Printf("  retries:            %d scheduled, %d exhausted, %d rate-limited fetches\n",
+		st.Retries, st.RetriesExhausted, st.RateLimited)
+	fmt.Printf("  circuit breakers:   %d opens, %d deferred fetches\n",
+		st.BreakerOpens, st.BreakerDeferred)
 
 	loc := graph.Locality(res.LinkDB)
 	fmt.Printf("  link locality:      %.1f%% intra-host (%d edges)\n",

@@ -61,11 +61,13 @@ func main() {
 		"jsd":         exp.JSDReport,
 		"relations":   exp.RelationsReport,
 		"extensions":  exp.ExtensionsReport,
+		"resilience":  exp.ResilienceReport,
 	}
 	order := []string{
 		"table1", "seeds", "crawl", "classifier", "boilerplate", "table2",
 		"table3", "fig3", "fig4", "fig5", "warstory", "fig6", "pronouns",
 		"table4", "fig7", "fig8", "jsd", "relations", "extensions",
+		"resilience",
 	}
 
 	wanted := flag.Args()

@@ -9,6 +9,8 @@
 //	             context, or channel it drains)
 //	errsink      no discarded errors on store/crawldb write paths
 //	metricname   obs registry keys are constants in the dotted-name grammar
+//	sleepcall    no blocking time primitives in crawler/dataflow paths
+//	             (backoff runs on the virtual clock, not time.Sleep)
 //
 // The analyzers are deliberately narrow: they encode this repo's
 // conventions, not general Go style. Suppress a finding with
@@ -32,6 +34,7 @@ func All() []*analysis.Analyzer {
 		GoroLeak,
 		ErrSink,
 		MetricName,
+		SleepCall,
 	}
 }
 

@@ -1,0 +1,80 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webtextie/internal/analysis"
+)
+
+// SleepCall flags blocking time primitives — time.Sleep, time.After,
+// timers, tickers — in the crawl and dataflow packages. Those paths run
+// on the deterministic discrete-event clock: retry backoff, retry-after
+// windows, and breaker-open periods are all expressed in virtual
+// milliseconds (crawldb.RetryState.NextEligibleMs) and elapse by
+// advancing workerFree/hostFree, never by blocking a goroutine. A real
+// sleep in a backoff loop would stall the test suite for the backoff's
+// wall-clock duration and decouple the schedule from the virtual clock,
+// breaking two-run identity.
+//
+// The check deliberately overlaps the broader determinism analyzer (which
+// bans all wall-clock reads outside internal/obs + internal/rng): this
+// one stays scoped to the resilience-bearing packages and names the
+// virtual-clock alternative, so a finding here survives even if the
+// determinism allowlist is ever loosened.
+var SleepCall = &analysis.Analyzer{
+	Name: "sleepcall",
+	Doc: "time.Sleep/After/Tick/NewTimer/NewTicker/AfterFunc in crawler or dataflow paths; " +
+		"backoff and delay must advance the virtual clock (crawldb NextEligibleMs), not block",
+	Run: runSleepCall,
+}
+
+// sleepCallScope lists the package-path suffixes the check patrols: the
+// crawl loop, its state store, the synthetic web (latency is data, not
+// sleep), and the dataflow executor. The fixture package is included so
+// the golden test exercises the check.
+var sleepCallScope = []string{
+	"internal/crawler",
+	"internal/crawldb",
+	"internal/dataflow",
+	"internal/synthweb",
+	"testdata/src/sleepcall",
+}
+
+// sleepFuncs are the blocking time-package primitives.
+var sleepFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runSleepCall(pass *analysis.Pass) {
+	inScope := false
+	for _, suffix := range sleepCallScope {
+		if pkgPathMatches(pass.Pkg.PkgPath, suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && sleepFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s blocks a deterministic path: express the delay in virtual ms "+
+						"(crawldb Requeue/Defer NextEligibleMs) and let the clock advance", fn.Name())
+			}
+			return true
+		})
+	}
+}

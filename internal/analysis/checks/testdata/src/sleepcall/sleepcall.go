@@ -1,0 +1,53 @@
+// Package sleepcall exercises the sleepcall analyzer: blocking time
+// primitives in crawl/dataflow paths are flagged; virtual-clock
+// bookkeeping and suppressed lines are not.
+package sleepcall
+
+import "time"
+
+// retryState mimics the crawldb bookkeeping the check points at.
+type retryState struct {
+	attempts       int
+	nextEligibleMs int64
+}
+
+// BackoffBlocking sleeps out the backoff for real — flagged.
+func BackoffBlocking(attempt int) {
+	time.Sleep(time.Duration(500<<attempt) * time.Millisecond)
+}
+
+// WaitWithTimeout races a channel against time.After — flagged.
+func WaitWithTimeout(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	case <-time.After(2 * time.Second):
+		return false
+	}
+}
+
+// PollTicker spins a ticker — flagged twice (NewTicker and Tick).
+func PollTicker() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	_ = time.Tick(time.Minute)
+}
+
+// BackoffVirtual is the sanctioned shape: the delay becomes data on the
+// virtual clock, nothing blocks — clean.
+func BackoffVirtual(rs *retryState, nowMs int64, attempt int) {
+	rs.attempts = attempt + 1
+	rs.nextEligibleMs = nowMs + int64(500<<attempt)
+}
+
+// DurationMath uses only pure time constructors — clean.
+func DurationMath(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
+// ShutdownGrace is suppressed: a process-exit grace period is wall-clock
+// by nature and runs outside any deterministic path.
+func ShutdownGrace() {
+	//lintx:ignore sleepcall process shutdown grace period is wall-clock by design
+	time.Sleep(10 * time.Millisecond)
+}

@@ -51,6 +51,10 @@ type CorpusAnalysis struct {
 	PosFailed int
 	// FlowErrors counts records dropped by operator failures.
 	FlowErrors int64
+	// FlowRetries counts operator attempts replayed under ExecOpRetries.
+	FlowRetries int64
+	// FlowQuarantined counts records dead-lettered by the executor.
+	FlowQuarantined int64
 
 	// RawMLGeneNames is the distinct ML gene-name set BEFORE TLA filtering
 	// (Table 4 reports this; Fig 7c the filtered set). TLARemoved counts
@@ -130,7 +134,8 @@ func (s *System) AnalyzeCorpusFunc(reg *Registry, c *corpora.Corpus, dop int,
 	// the cmds' -metrics flag); AnalyzeAll runs corpora sequentially, so
 	// the shared registry keeps ExecStats exact.
 	results, execStats, err := dataflow.Execute(plan, records,
-		dataflow.ExecConfig{DoP: dop, Metrics: obs.Default()})
+		dataflow.ExecConfig{DoP: dop, Metrics: obs.Default(),
+			Policy: s.Cfg.ExecPolicy, OpRetries: s.Cfg.ExecOpRetries})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %v: %w", c.Kind, err)
 	}
@@ -138,6 +143,8 @@ func (s *System) AnalyzeCorpusFunc(reg *Registry, c *corpora.Corpus, dop int,
 	a := newCorpusAnalysis(c.Kind)
 	a.Docs = len(c.Docs)
 	a.FlowErrors = execStats.TotalErrors()
+	a.FlowRetries = execStats.TotalRetries()
+	a.FlowQuarantined = execStats.TotalQuarantined()
 	sinks := plan.Sinks()
 	if len(sinks) != 1 {
 		return nil, fmt.Errorf("core: analysis flow has %d sinks", len(sinks))

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"webtextie/internal/corpora"
+	"webtextie/internal/dataflow"
 	"webtextie/internal/ie/crf"
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/nlp/postag"
@@ -65,6 +66,12 @@ type Config struct {
 	POSTrainDocs int
 	// POSMaxTokens is the POS tagger's crash threshold (Fig 3a).
 	POSMaxTokens int
+	// ExecPolicy selects the dataflow executor's response to UDF errors
+	// during analysis (dataflow.Quarantine by default: count, dead-letter,
+	// continue; dataflow.FailFast aborts the run on the first failure).
+	ExecPolicy dataflow.ErrorPolicy
+	// ExecOpRetries is the executor's per-record operator retry budget.
+	ExecOpRetries int
 }
 
 // DefaultConfig returns the standard full-scale (1:10,000) setup.

@@ -7,7 +7,10 @@
 // blocking each other" (the paper uses 500).
 package crawldb
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Status is the lifecycle state of a URL in the CrawlDB.
 type Status int
@@ -23,6 +26,14 @@ const (
 	Filtered
 )
 
+// RetryState is the per-URL retry bookkeeping: how many fetch attempts
+// have failed so far and the earliest virtual time the URL may re-enter a
+// fetch list (backoff, retry-after, breaker-open windows).
+type RetryState struct {
+	Attempts       int   `json:"attempts"`
+	NextEligibleMs int64 `json:"next_eligible_ms"`
+}
+
 // CrawlDB is the frontier and URL-status store. It is not safe for
 // concurrent use; the crawler serializes access (generate/fetch/update
 // cycles, as in Nutch).
@@ -32,12 +43,18 @@ type CrawlDB struct {
 	frontier map[string][]string
 	// hostOrder keeps deterministic iteration order over hosts.
 	hostOrder []string
-	pending   int
+	// retry holds the failed-attempt state of URLs awaiting a retry.
+	retry   map[string]RetryState
+	pending int
 }
 
 // New returns an empty CrawlDB.
 func New() *CrawlDB {
-	return &CrawlDB{status: map[string]Status{}, frontier: map[string][]string{}}
+	return &CrawlDB{
+		status:   map[string]Status{},
+		frontier: map[string][]string{},
+		retry:    map[string]RetryState{},
+	}
 }
 
 // Inject adds a URL to the frontier if it is unknown (the Nutch injector).
@@ -55,9 +72,67 @@ func (db *CrawlDB) Inject(url, host string) bool {
 	return true
 }
 
-// SetStatus records the outcome of a fetch attempt.
+// SetStatus records the outcome of a fetch attempt. Terminal statuses
+// (anything but Unfetched) clear the URL's retry state.
 func (db *CrawlDB) SetStatus(url string, s Status) {
 	db.status[url] = s
+	if s != Unfetched {
+		delete(db.retry, url)
+	}
+}
+
+// Requeue returns a generated (in-flight) URL to the frontier after a
+// failed attempt: the attempt counter is incremented and the URL becomes
+// eligible for fetch lists again once the virtual clock reaches
+// nextEligibleMs. Returns the total number of failed attempts so far.
+func (db *CrawlDB) Requeue(url, host string, nextEligibleMs int64) int {
+	rs := db.retry[url]
+	rs.Attempts++
+	rs.NextEligibleMs = nextEligibleMs
+	db.retry[url] = rs
+	db.requeue(url, host)
+	return rs.Attempts
+}
+
+// Defer returns a generated URL to the frontier without consuming a retry
+// attempt — used when the crawler itself declines the fetch (open circuit
+// breaker) rather than the fetch failing.
+func (db *CrawlDB) Defer(url, host string, nextEligibleMs int64) {
+	rs := db.retry[url]
+	rs.NextEligibleMs = nextEligibleMs
+	db.retry[url] = rs
+	db.requeue(url, host)
+}
+
+// requeue places an in-flight URL back on its host queue.
+func (db *CrawlDB) requeue(url, host string) {
+	db.status[url] = Unfetched
+	if _, ok := db.frontier[host]; !ok {
+		db.hostOrder = append(db.hostOrder, host)
+	}
+	db.frontier[host] = append(db.frontier[host], url)
+	db.pending++
+}
+
+// Attempts returns how many fetch attempts of a URL have failed so far.
+func (db *CrawlDB) Attempts(url string) int { return db.retry[url].Attempts }
+
+// NextEligible returns the earliest NextEligibleMs across the frontier
+// and whether the frontier holds any URL at all. A crawler whose fetch
+// list came back empty advances its virtual clock to this time.
+func (db *CrawlDB) NextEligible() (int64, bool) {
+	if db.pending == 0 {
+		return 0, false
+	}
+	earliest := int64(math.MaxInt64)
+	for _, host := range db.hostOrder {
+		for _, u := range db.frontier[host] {
+			if t := db.retry[u].NextEligibleMs; t < earliest {
+				earliest = t
+			}
+		}
+	}
+	return earliest, true
 }
 
 // StatusOf returns a URL's status and whether it is known.
@@ -78,11 +153,20 @@ type FetchItem struct {
 	Host string
 }
 
-// Generate produces the next fetch list: up to maxPerHost URLs from each
-// host with pending work, up to total URLs overall. Hosts are visited in
-// injection order, which keeps runs deterministic. Generated URLs leave
-// the frontier immediately (they are "in flight").
+// Generate produces the next fetch list ignoring retry eligibility — the
+// original time-free surface, equivalent to GenerateAt at the end of time.
 func (db *CrawlDB) Generate(total, maxPerHost int) []FetchItem {
+	return db.GenerateAt(total, maxPerHost, math.MaxInt64)
+}
+
+// GenerateAt produces the next fetch list as of virtual time nowMs: up to
+// maxPerHost URLs from each host with pending work, up to total URLs
+// overall, skipping URLs whose retry backoff has not yet elapsed
+// (NextEligibleMs > nowMs). Hosts are visited in injection order and
+// queues stay FIFO, which keeps runs deterministic. Generated URLs leave
+// the frontier immediately (they are "in flight"); skipped URLs keep
+// their queue position.
+func (db *CrawlDB) GenerateAt(total, maxPerHost int, nowMs int64) []FetchItem {
 	if maxPerHost <= 0 {
 		maxPerHost = 500 // the paper's fetch-list cap (§4.1)
 	}
@@ -92,18 +176,29 @@ func (db *CrawlDB) Generate(total, maxPerHost int) []FetchItem {
 			break
 		}
 		q := db.frontier[host]
-		n := maxPerHost
-		if n > len(q) {
-			n = len(q)
+		if len(q) == 0 {
+			continue
 		}
+		n := maxPerHost
 		if rem := total - len(out); n > rem {
 			n = rem
 		}
-		for _, u := range q[:n] {
+		kept := q[:0:0]
+		taken := 0
+		for i, u := range q {
+			if taken >= n {
+				kept = append(kept, q[i:]...)
+				break
+			}
+			if db.retry[u].NextEligibleMs > nowMs {
+				kept = append(kept, u)
+				continue
+			}
 			out = append(out, FetchItem{URL: u, Host: host})
+			taken++
 		}
-		db.frontier[host] = q[n:]
-		db.pending -= n
+		db.frontier[host] = kept
+		db.pending -= taken
 	}
 	// Drop empty hosts from the order lazily.
 	if len(out) == 0 {

@@ -1,0 +1,48 @@
+package crawler
+
+import "testing"
+
+// The resilience machinery (retry bookkeeping, breaker checks, attempt
+// lookups) sits on the per-fetch hot path. These benchmarks pin its cost
+// on a fault-free web: "legacy" runs with retries and breakers disabled
+// (the pre-resilience configuration), "resilient" with the default knobs.
+// BENCH_PR3.json commits the pair; the gap must stay within a few percent.
+
+func benchCrawl(b *testing.B, mutate func(*Config)) {
+	p := newPipeline(b, 80)
+	seedList := defaultSeeds(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MaxPages = 500
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		_ = New(cfg, p.web, p.clf).Run(seedList)
+	}
+}
+
+func BenchmarkCrawlFaultFreeLegacy(b *testing.B) {
+	benchCrawl(b, func(cfg *Config) {
+		cfg.MaxRetries = 0
+		cfg.BreakerFailures = 0
+	})
+}
+
+func BenchmarkCrawlFaultFreeResilient(b *testing.B) {
+	benchCrawl(b, nil)
+}
+
+// BenchmarkCrawlChaosResilient measures the crawl under heavy injected
+// faults — reference point, not a regression gate (it does strictly more
+// work: retries, backoff scheduling, breaker transitions).
+func BenchmarkCrawlChaosResilient(b *testing.B) {
+	p := chaosPipeline(b, 80, nil)
+	seedList := defaultSeeds(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MaxPages = 500
+		_ = New(cfg, p.web, p.clf).Run(seedList)
+	}
+}

@@ -1,0 +1,139 @@
+package crawler
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCheckpointResumeByteIdentical: a crawl interrupted mid-run,
+// serialized through JSON, and resumed in fresh objects finishes with the
+// same stats, corpora, and metric snapshot as the uninterrupted crawl.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 250
+	seedsOf := func(p *pipeline) []string { return defaultSeeds(t, p) }
+
+	// Uninterrupted reference run over a faulty web (retry and breaker
+	// state must survive the checkpoint).
+	p1 := chaosPipeline(t, 50, chaosWeb)
+	ref := New(cfg, p1.web, p1.clf).Run(seedsOf(p1))
+
+	// Interrupted run: a few cycles, checkpoint, JSON round-trip, resume
+	// with freshly built (same-seed) web and classifier, finish.
+	p2 := chaosPipeline(t, 50, chaosWeb)
+	c := New(cfg, p2.web, p2.clf)
+	c.Seed(seedsOf(p2))
+	for i := 0; i < 3 && c.Step(); i++ {
+	}
+	raw, err := c.Checkpoint().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := chaosPipeline(t, 50, chaosWeb)
+	rc, err := Resume(cfg, p3.web, p3.clf, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rc.Step() {
+	}
+	got := rc.Finish()
+
+	if got.Stats != ref.Stats {
+		t.Fatalf("stats diverge:\n%+v\n%+v", got.Stats, ref.Stats)
+	}
+	if len(got.Relevant) != len(ref.Relevant) || len(got.IrrelevantPages) != len(ref.IrrelevantPages) {
+		t.Fatalf("corpus sizes diverge: %d/%d vs %d/%d",
+			len(got.Relevant), len(got.IrrelevantPages), len(ref.Relevant), len(ref.IrrelevantPages))
+	}
+	// Gold is a pointer into the generating web, so compare pages by
+	// content, not pointer identity.
+	samePage := func(a, b CrawledPage) bool {
+		if a.URL != b.URL || a.NetText != b.NetText || a.GoldRelevant != b.GoldRelevant || a.Bytes != b.Bytes {
+			return false
+		}
+		if (a.Gold == nil) != (b.Gold == nil) {
+			return false
+		}
+		return a.Gold == nil || a.Gold.Text == b.Gold.Text
+	}
+	for i := range ref.Relevant {
+		if !samePage(got.Relevant[i], ref.Relevant[i]) {
+			t.Fatalf("relevant page %d diverges:\n%+v\n%+v", i, got.Relevant[i], ref.Relevant[i])
+		}
+	}
+	for i := range ref.IrrelevantPages {
+		if !samePage(got.IrrelevantPages[i], ref.IrrelevantPages[i]) {
+			t.Fatalf("irrelevant page %d diverges", i)
+		}
+	}
+	if gt, rt := got.Metrics.Text(), ref.Metrics.Text(); gt != rt {
+		t.Fatalf("metric snapshots diverge:\n%s\nvs\n%s", gt, rt)
+	}
+	if got.LinkDB.Edges() != ref.LinkDB.Edges() {
+		t.Fatal("link graphs diverge")
+	}
+}
+
+// TestCheckpointSerializationDeterministic: the serialized checkpoint is
+// itself byte-identical across same-seed runs.
+func TestCheckpointSerializationDeterministic(t *testing.T) {
+	snap := func() []byte {
+		p := chaosPipeline(t, 40, chaosWeb)
+		cfg := DefaultConfig()
+		cfg.MaxPages = 150
+		c := New(cfg, p.web, p.clf)
+		c.Seed(defaultSeeds(t, p))
+		for i := 0; i < 2 && c.Step(); i++ {
+		}
+		raw, err := c.Checkpoint().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if a, b := snap(), snap(); !bytes.Equal(a, b) {
+		t.Fatal("checkpoint serialization is not deterministic")
+	}
+}
+
+// TestResumeRejectsWorkerMismatch: resuming under a different worker count
+// would silently change the clock schedule — it must error instead.
+func TestResumeRejectsWorkerMismatch(t *testing.T) {
+	p := chaosPipeline(t, 30, nil)
+	cfg := DefaultConfig()
+	cfg.MaxPages = 60
+	c := New(cfg, p.web, p.clf)
+	c.Seed(defaultSeeds(t, p))
+	c.Step()
+	cp := c.Checkpoint()
+
+	bad := cfg
+	bad.Workers = cfg.Workers + 1
+	if _, err := Resume(bad, p.web, p.clf, cp); err == nil {
+		t.Fatal("worker-count mismatch accepted")
+	}
+}
+
+// TestResumeRebuildFailureSurfaces: a checkpoint referencing a page the
+// supplied web cannot serve (wrong web) fails loudly, not silently.
+func TestResumeRebuildFailureSurfaces(t *testing.T) {
+	p := chaosPipeline(t, 30, nil)
+	cfg := DefaultConfig()
+	cfg.MaxPages = 60
+	c := New(cfg, p.web, p.clf)
+	c.Seed(defaultSeeds(t, p))
+	for i := 0; i < 2 && c.Step(); i++ {
+	}
+	cp := c.Checkpoint()
+	if len(cp.RelevantURLs) == 0 {
+		t.Skip("no stored pages to corrupt")
+	}
+	cp.RelevantURLs[0] = "http://no-such-host.example/x"
+	if _, err := Resume(cfg, p.web, p.clf, cp); err == nil {
+		t.Fatal("unreadable checkpoint page accepted")
+	}
+}

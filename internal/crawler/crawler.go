@@ -67,6 +67,22 @@ type Config struct {
 	// SelfTrainingMargin (both directions) are fed back into the model.
 	SelfTraining       bool
 	SelfTrainingMargin float64
+
+	// MaxRetries is the per-URL retry budget for transient fetch failures
+	// (injected errors, truncated bodies, host-down, rate limits). 0
+	// disables retries: every fetch error is terminal, the pre-resilience
+	// behavior.
+	MaxRetries int
+	// BackoffBaseMs and BackoffMaxMs bound the exponential retry backoff
+	// (base<<attempt, capped, plus deterministic jitter) on the virtual
+	// clock.
+	BackoffBaseMs, BackoffMaxMs int
+	// BreakerFailures is the consecutive-failure threshold that opens a
+	// host's circuit breaker. 0 disables breakers.
+	BreakerFailures int
+	// BreakerOpenMs is how long an open breaker rejects fetches before
+	// letting a half-open probe through.
+	BreakerOpenMs int
 }
 
 // DefaultConfig returns the calibrated crawl configuration.
@@ -84,6 +100,11 @@ func DefaultConfig() Config {
 		ProcessCostMs:      2500,
 		EntityBoostDensity: 1.0,
 		SelfTrainingMargin: 0.45,
+		MaxRetries:         3,
+		BackoffBaseMs:      500,
+		BackoffMaxMs:       60_000,
+		BreakerFailures:    5,
+		BreakerOpenMs:      30_000,
 	}
 }
 
@@ -124,6 +145,15 @@ type Stats struct {
 	VirtualMs int64
 	// Cycles is the number of generate/fetch/update rounds.
 	Cycles int
+	// Retries counts requeues after transient failures; RetriesExhausted
+	// counts URLs abandoned after MaxRetries failed attempts.
+	Retries, RetriesExhausted int
+	// RateLimited counts 429-style rejections honored via retry-after.
+	RateLimited int
+	// BreakerOpens counts closed->open circuit-breaker transitions;
+	// BreakerDeferred counts fetches an open breaker pushed back into the
+	// frontier.
+	BreakerOpens, BreakerDeferred int
 }
 
 // Classified returns the number of pages that reached the classifier.
@@ -182,9 +212,15 @@ type metrics struct {
 	filterMIME, filterLang, filterLength  *obs.Counter
 	classifyRelevant, classifyIrrelevant  *obs.Counter
 	entityBoosted, selfTrain              *obs.Counter
+	retrySched, retryExhausted            *obs.Counter
+	rateLimited, hostDown, truncated      *obs.Counter
+	breakerOpened, breakerHalfOpen        *obs.Counter
+	breakerClosed, breakerDeferred        *obs.Counter
+	idleAdvances                          *obs.Counter
 	frontierPending, frontierKnown        *obs.Gauge
-	virtualMs                             *obs.Gauge
+	virtualMs, breakerOpenHosts           *obs.Gauge
 	cycleFetched, stallMs, pageCost       *obs.Histogram
+	retryBackoffMs                        *obs.Histogram
 }
 
 // cycleBuckets histogram the number of fetches per generate/fetch cycle.
@@ -207,12 +243,24 @@ func newMetrics(reg *obs.Registry) *metrics {
 		classifyIrrelevant: reg.Counter("crawler.classify.irrelevant"),
 		entityBoosted:      reg.Counter("crawler.entity.boosted"),
 		selfTrain:          reg.Counter("crawler.selftrain.updates"),
+		retrySched:         reg.Counter("crawler.retry.scheduled"),
+		retryExhausted:     reg.Counter("crawler.retry.exhausted"),
+		rateLimited:        reg.Counter("crawler.fetch.ratelimited"),
+		hostDown:           reg.Counter("crawler.fetch.hostdown"),
+		truncated:          reg.Counter("crawler.fetch.truncated"),
+		breakerOpened:      reg.Counter("crawler.breaker.opened"),
+		breakerHalfOpen:    reg.Counter("crawler.breaker.halfopen"),
+		breakerClosed:      reg.Counter("crawler.breaker.closed"),
+		breakerDeferred:    reg.Counter("crawler.breaker.deferred"),
+		idleAdvances:       reg.Counter("crawler.clock.idle.advances"),
 		frontierPending:    reg.Gauge("crawler.frontier.pending"),
 		frontierKnown:      reg.Gauge("crawler.frontier.known"),
 		virtualMs:          reg.Gauge("crawler.virtual.ms"),
+		breakerOpenHosts:   reg.Gauge("crawler.breaker.open.hosts"),
 		cycleFetched:       reg.Histogram("crawler.cycle.fetched", cycleBuckets...),
 		stallMs:            reg.Histogram("crawler.politeness.stall.ms", obs.DefaultMsBuckets...),
 		pageCost:           reg.Histogram("crawler.page.cost.ms", obs.DefaultMsBuckets...),
+		retryBackoffMs:     reg.Histogram("crawler.retry.backoff.ms", obs.DefaultMsBuckets...),
 	}
 }
 
@@ -238,12 +286,17 @@ type Crawler struct {
 	// clock state: per-host earliest next fetch, per-worker availability.
 	hostFree   map[string]int64
 	workerFree []int64
+	// breakers holds each host's circuit breaker (created on first fetch).
+	breakers map[string]*breaker
 
 	// relevant/irrelevant accumulate the two crawled corpora.
 	relevant, irrelevant []CrawledPage
 
 	stats Stats
 	m     *metrics
+	// resumeMetrics remembers the checkpoint's metric snapshot so that
+	// WithMetrics on a resumed crawler re-seeds the new registry too.
+	resumeMetrics *obs.Snapshot
 }
 
 // New builds a crawler over a synthetic web with a trained classifier.
@@ -263,6 +316,7 @@ func New(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes) *Crawler {
 		perHost:     map[string]int{},
 		hostFree:    map[string]int64{},
 		workerFree:  make([]int64, cfg.Workers),
+		breakers:    map[string]*breaker{},
 		m:           newMetrics(obs.New()),
 	}
 }
@@ -273,6 +327,9 @@ func New(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes) *Crawler {
 // Result.Metrics. Returns the crawler for chaining.
 func (c *Crawler) WithMetrics(reg *obs.Registry) *Crawler {
 	c.m = newMetrics(obs.Or(reg))
+	if c.resumeMetrics != nil {
+		c.m.reg.Load(*c.resumeMetrics)
+	}
 	return c
 }
 
@@ -325,26 +382,73 @@ func (c *Crawler) inject(url string, depth int) {
 
 // Run executes the crawl from the given seed list.
 func (c *Crawler) Run(seedURLs []string) *Result {
+	c.Seed(seedURLs)
+	for c.Step() {
+	}
+	return c.Finish()
+}
+
+// Seed injects the seed list into the frontier (the Nutch injector).
+func (c *Crawler) Seed(seedURLs []string) {
 	for _, u := range seedURLs {
 		c.inject(u, 0)
 	}
-	for {
-		if c.cfg.MaxPages > 0 && c.stats.Fetched >= c.cfg.MaxPages {
-			break
+}
+
+// nowMs is the crawl's current virtual time: the earliest moment any
+// worker could start a fetch.
+func (c *Crawler) nowMs() int64 {
+	now := c.workerFree[0]
+	for _, w := range c.workerFree[1:] {
+		if w < now {
+			now = w
 		}
-		c.m.frontierPending.Set(int64(c.db.Pending()))
-		c.m.frontierKnown.Set(int64(c.db.Known()))
-		list := c.db.Generate(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle)
+	}
+	return now
+}
+
+// Step runs one generate/fetch/update cycle and reports whether the crawl
+// should continue. When every frontier URL is backing off, the virtual
+// clock idle-advances to the earliest eligibility instead of giving up —
+// retries are bounded, so this always terminates. Checkpoint between Step
+// calls to snapshot the crawl at a cycle boundary.
+func (c *Crawler) Step() bool {
+	if c.cfg.MaxPages > 0 && c.stats.Fetched >= c.cfg.MaxPages {
+		return false
+	}
+	c.m.frontierPending.Set(int64(c.db.Pending()))
+	c.m.frontierKnown.Set(int64(c.db.Known()))
+	list := c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
+	if len(list) == 0 {
+		next, ok := c.db.NextEligible()
+		if !ok {
+			c.stats.FrontierEmptied = true
+			return false
+		}
+		// Everything pending is waiting out a backoff or breaker window:
+		// fast-forward the idle workers to the earliest eligibility.
+		c.m.idleAdvances.Inc()
+		for i := range c.workerFree {
+			if c.workerFree[i] < next {
+				c.workerFree[i] = next
+			}
+		}
+		list = c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
 		if len(list) == 0 {
 			c.stats.FrontierEmptied = true
-			break
+			return false
 		}
-		c.stats.Cycles++
-		c.m.cycles.Inc()
-		before := c.stats.Fetched
-		c.fetchCycle(list)
-		c.m.cycleFetched.Observe(float64(c.stats.Fetched - before))
 	}
+	c.stats.Cycles++
+	c.m.cycles.Inc()
+	before := c.stats.Fetched
+	c.fetchCycle(list)
+	c.m.cycleFetched.Observe(float64(c.stats.Fetched - before))
+	return true
+}
+
+// Finish freezes the crawl into a Result.
+func (c *Crawler) Finish() *Result {
 	c.m.frontierPending.Set(int64(c.db.Pending()))
 	c.m.frontierKnown.Set(int64(c.db.Known()))
 	c.m.virtualMs.Set(c.stats.VirtualMs)
@@ -369,7 +473,9 @@ func (c *Crawler) fetchCycle(list []crawldb.FetchItem) {
 // stalls — time the chosen worker sits idle waiting for the target host's
 // crawl delay to elapse — and the resulting per-page cost are observed on
 // the virtual clock, so the histograms are deterministic for a given seed.
-func (c *Crawler) advanceClock(host string, delayMs int) {
+// latencyMs is extra server-side latency (slow hosts) on top of the base
+// fetch cost.
+func (c *Crawler) advanceClock(host string, delayMs, latencyMs int) {
 	// Earliest available worker.
 	w := 0
 	for i := 1; i < len(c.workerFree); i++ {
@@ -383,7 +489,7 @@ func (c *Crawler) advanceClock(host string, delayMs int) {
 		c.m.stallMs.Observe(float64(hf - start))
 		start = hf
 	}
-	end := start + int64(c.cfg.FetchCostMs) + int64(c.cfg.ProcessCostMs)
+	end := start + int64(c.cfg.FetchCostMs) + int64(latencyMs) + int64(c.cfg.ProcessCostMs)
 	// Per-page processing cost: worker-available to page done, stalls
 	// included (the §4.1 "3-4 documents per second" accounting).
 	c.m.pageCost.Observe(float64(end - c.workerFree[w]))
@@ -396,15 +502,17 @@ func (c *Crawler) advanceClock(host string, delayMs int) {
 
 func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	rb, _ := c.web.Robots(item.Host)
-	c.advanceClock(item.Host, rb.CrawlDelayMs)
-
-	page, err := c.web.Fetch(item.URL)
-	if err != nil {
-		c.stats.FetchErrors++
-		c.m.fetchErr.Inc()
-		c.db.SetStatus(item.URL, crawldb.Failed)
+	if c.breakerRejects(item) {
 		return
 	}
+	attempt := c.db.Attempts(item.URL)
+	page, info, err := c.web.FetchAttempt(item.URL, attempt)
+	c.advanceClock(item.Host, rb.CrawlDelayMs, info.LatencyMs)
+	if err != nil {
+		c.onFetchError(item, attempt, info, err)
+		return
+	}
+	c.breakerAlive(item.Host)
 	c.stats.Fetched++
 	c.m.fetchOK.Inc()
 	c.m.fetchBytes.Add(int64(len(page.Body)))

@@ -1,0 +1,35 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPlan builds the same 5-op linear flow BenchmarkExecuteLinear uses.
+func benchPlan() *Plan {
+	p := &Plan{}
+	cur := p.Add(passOp("src"))
+	for j := 0; j < 5; j++ {
+		cur = p.Add(setOp(fmt.Sprint("op", j), fmt.Sprint("f", j), j), cur)
+	}
+	return p
+}
+
+// BenchmarkExecuteQuarantineFaultFree is the executor's happy path under
+// the default error policy with no failures — the direct-emission fast
+// path (no per-attempt buffering, no input cloning). Paired with
+// BenchmarkExecuteLinear in BENCH_PR3.json as the overhead gate.
+func BenchmarkExecuteQuarantineFaultFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Execute(benchPlan(), input(500), ExecConfig{DoP: 2, Policy: Quarantine})
+	}
+}
+
+// BenchmarkExecuteOpRetryBudget prices the retry budget on a fault-free
+// flow: with OpRetries > 0 every attempt buffers its emissions so failed
+// attempts can be discarded, which costs one slice per record per op.
+func BenchmarkExecuteOpRetryBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Execute(benchPlan(), input(500), ExecConfig{DoP: 2, OpRetries: 2})
+	}
+}

@@ -1,12 +1,33 @@
 package dataflow
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webtextie/internal/obs"
 )
+
+// ErrorPolicy selects Execute's response to UDF errors and panics.
+type ErrorPolicy int
+
+const (
+	// Quarantine (the default) counts the failure, moves the offending
+	// input record to the dead-letter output (ExecStats.Quarantined), and
+	// keeps the flow running — the §5 robustness requirement: a single
+	// malformed page must not kill an 80-day crawl analysis.
+	Quarantine ErrorPolicy = iota
+	// FailFast aborts the execution on the first terminal UDF error or
+	// panic and returns it from Execute.
+	FailFast
+)
+
+// defaultQuarantineLimit caps the retained dead-letter records when
+// ExecConfig.QuarantineLimit is zero.
+const defaultQuarantineLimit = 1024
 
 // ExecConfig controls plan execution.
 type ExecConfig struct {
@@ -21,6 +42,19 @@ type ExecConfig struct {
 	// *concurrent* executions keeps the metric totals exact but makes the
 	// per-execution ExecStats deltas approximate.
 	Metrics *obs.Registry
+	// Policy selects the response to UDF errors (Quarantine by default).
+	Policy ErrorPolicy
+	// OpRetries is the per-record retry budget for a failing operator:
+	// the record is re-presented up to OpRetries more times before it is
+	// quarantined (or, under FailFast, kills the run). Emissions of a
+	// failed attempt are discarded, so retried records produce output
+	// exactly once. 0 disables retries (and keeps the zero-overhead
+	// unbuffered emit path).
+	OpRetries int
+	// QuarantineLimit caps the dead-letter records retained in
+	// ExecStats.Quarantined (0 means 1024; negative retains none).
+	// Overflowing records are still counted in stats and metrics.
+	QuarantineLimit int
 }
 
 // DefaultExecConfig uses DoP 4.
@@ -29,11 +63,26 @@ func DefaultExecConfig() ExecConfig { return ExecConfig{DoP: 4, ChannelBuffer: 6
 // NodeStats aggregates one node's execution counters.
 type NodeStats struct {
 	In, Out int64
-	// Errors counts records dropped by UDF errors — the paper's tools
-	// crash on degenerate input; the flow counts and continues (§5).
+	// Errors counts records an operator terminally failed on (after
+	// retries) — quarantined under the default policy.
 	Errors int64
+	// Retries counts re-presented records; Panics counts recovered UDF
+	// panics; Quarantined counts records moved to the dead-letter output.
+	Retries, Panics, Quarantined int64
 	// InitTime is the one-time startup duration (dictionary loads).
 	InitTime time.Duration
+}
+
+// QuarantinedRecord is one dead-letter entry: the input record an
+// operator could not process, with the terminal error.
+type QuarantinedRecord struct {
+	// NodeID and Op identify the failing operator instance.
+	NodeID int
+	Op     string
+	// Err is the terminal error's message.
+	Err string
+	// Rec is the offending input record.
+	Rec Record
 }
 
 // ExecStats describes one plan execution.
@@ -42,9 +91,14 @@ type ExecStats struct {
 	PerNode map[int]*NodeStats
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
+	// Quarantined is the dead-letter output, sorted by (node, error,
+	// record) so concurrent executions report deterministically. Capped
+	// at ExecConfig.QuarantineLimit; NodeStats.Quarantined holds the
+	// uncapped counts.
+	Quarantined []QuarantinedRecord
 }
 
-// TotalErrors sums UDF failures across nodes.
+// TotalErrors sums terminal UDF failures across nodes.
 func (s *ExecStats) TotalErrors() int64 {
 	var t int64
 	for _, ns := range s.PerNode {
@@ -53,14 +107,34 @@ func (s *ExecStats) TotalErrors() int64 {
 	return t
 }
 
+// TotalRetries sums record re-presentations across nodes.
+func (s *ExecStats) TotalRetries() int64 {
+	var t int64
+	for _, ns := range s.PerNode {
+		t += ns.Retries
+	}
+	return t
+}
+
+// TotalQuarantined sums dead-lettered records across nodes (uncapped).
+func (s *ExecStats) TotalQuarantined() int64 {
+	var t int64
+	for _, ns := range s.PerNode {
+		t += ns.Quarantined
+	}
+	return t
+}
+
 // nodeMetrics bundles one node's obs instruments. The executor's bespoke
 // atomic counters were replaced by these: ExecStats is now derived from
 // registry deltas after the run.
 type nodeMetrics struct {
-	in, out, errs          *obs.Counter
-	in0, out0, errs0       int64 // registry values before this execution
-	latency                *obs.Histogram
-	queueDepth, queueWater *obs.Gauge
+	in, out, errs                *obs.Counter
+	retries, panics, quarantined *obs.Counter
+	in0, out0, errs0             int64 // registry values before this execution
+	retries0, panics0, quar0     int64
+	latency                      *obs.Histogram
+	queueDepth, queueWater       *obs.Gauge
 }
 
 // MetricName returns the obs registry name for one per-operator metric of
@@ -72,20 +146,121 @@ func MetricName(n *Node, metric string) string {
 
 func newNodeMetrics(reg *obs.Registry, n *Node) *nodeMetrics {
 	m := &nodeMetrics{
-		in:         reg.Counter(MetricName(n, "in")),
-		out:        reg.Counter(MetricName(n, "out")),
-		errs:       reg.Counter(MetricName(n, "errors")),
-		latency:    reg.Histogram(MetricName(n, "ms"), obs.DefaultMsBuckets...),
-		queueDepth: reg.Gauge(MetricName(n, "queue.depth")),
-		queueWater: reg.Gauge(MetricName(n, "queue.highwater")),
+		in:          reg.Counter(MetricName(n, "in")),
+		out:         reg.Counter(MetricName(n, "out")),
+		errs:        reg.Counter(MetricName(n, "errors")),
+		retries:     reg.Counter(MetricName(n, "retries")),
+		panics:      reg.Counter(MetricName(n, "panics")),
+		quarantined: reg.Counter(MetricName(n, "quarantined")),
+		latency:     reg.Histogram(MetricName(n, "ms"), obs.DefaultMsBuckets...),
+		queueDepth:  reg.Gauge(MetricName(n, "queue.depth")),
+		queueWater:  reg.Gauge(MetricName(n, "queue.highwater")),
 	}
 	m.in0, m.out0, m.errs0 = m.in.Value(), m.out.Value(), m.errs.Value()
+	m.retries0, m.panics0, m.quar0 = m.retries.Value(), m.panics.Value(), m.quarantined.Value()
 	return m
+}
+
+// errPanic marks errors synthesized from recovered UDF panics.
+var errPanic = errors.New("dataflow: operator panicked")
+
+// safeUDF invokes a UDF with panic recovery: a panicking operator reads
+// as an error instead of tearing down the whole execution.
+func safeUDF(fn UDF, rec Record, emit Emit) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", errPanic, p)
+		}
+	}()
+	return fn(rec, emit)
+}
+
+// quarantineLog collects dead-letter records across worker goroutines.
+type quarantineLog struct {
+	mu    sync.Mutex
+	limit int
+	recs  []QuarantinedRecord
+}
+
+func (q *quarantineLog) add(n *Node, rec Record, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.recs) >= q.limit {
+		return
+	}
+	q.recs = append(q.recs, QuarantinedRecord{
+		NodeID: n.id, Op: n.Op.Name, Err: err.Error(), Rec: rec.Clone(),
+	})
+}
+
+// sorted returns the dead-letter output in deterministic order: workers
+// race to append, but the *set* per seed is fixed, so sorting by (node,
+// error, record rendering) makes the report reproducible. fmt renders
+// maps with sorted keys, giving a stable record key.
+func (q *quarantineLog) sorted() []QuarantinedRecord {
+	sort.Slice(q.recs, func(i, j int) bool {
+		a, b := q.recs[i], q.recs[j]
+		if a.NodeID != b.NodeID {
+			return a.NodeID < b.NodeID
+		}
+		if a.Err != b.Err {
+			return a.Err < b.Err
+		}
+		return fmt.Sprintf("%v", a.Rec) < fmt.Sprintf("%v", b.Rec)
+	})
+	return q.recs
+}
+
+// process runs one record through one operator under the error policy:
+// panic recovery, up to cfg.OpRetries re-presentations (each attempt's
+// emissions buffered and discarded on failure), then quarantine or abort.
+// A non-nil return is a FailFast abort.
+func process(n *Node, nm *nodeMetrics, cfg ExecConfig, rec Record, emit Emit, q *quarantineLog) error {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.OpRetries; attempt++ {
+		in, out := rec, emit
+		var buf []Record
+		if cfg.OpRetries > 0 {
+			// Buffer emissions so a failed attempt emits nothing and a
+			// retry starts from a pristine record.
+			out = func(r Record) { buf = append(buf, r) }
+			if attempt > 0 {
+				in = rec.Clone()
+				nm.retries.Inc()
+			}
+		}
+		err := safeUDF(n.Op.Fn, in, out)
+		if errors.Is(err, ErrStopFlow) {
+			return nil // filtered, not a failure
+		}
+		if err == nil {
+			for _, r := range buf {
+				emit(r)
+			}
+			return nil
+		}
+		if errors.Is(err, errPanic) {
+			nm.panics.Inc()
+		}
+		lastErr = err
+	}
+	nm.errs.Inc()
+	if cfg.Policy == FailFast {
+		return fmt.Errorf("dataflow: op %q: %w", n.Op.Name, lastErr)
+	}
+	nm.quarantined.Inc()
+	q.add(n, rec, lastErr)
+	return nil
 }
 
 // Execute runs the plan over the input records. Records are fed to every
 // node without inputs; the returned map holds the records that reached
 // each sink node (keyed by node id).
+//
+// UDF failures follow cfg.Policy: under Quarantine (default) the failing
+// record lands in ExecStats.Quarantined and the flow continues; under
+// FailFast the first terminal failure aborts the run and is returned.
+// Operator panics are recovered and treated as errors either way.
 func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecStats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -95,6 +270,9 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	}
 	if cfg.ChannelBuffer <= 0 {
 		cfg.ChannelBuffer = 64
+	}
+	if cfg.QuarantineLimit == 0 {
+		cfg.QuarantineLimit = defaultQuarantineLimit
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -110,6 +288,27 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		stats.PerNode[n.id] = &NodeStats{}
 		metrics[n.id] = newNodeMetrics(reg, n)
 	}
+
+	// Operator Init runs before any goroutine spawns, so an Init error
+	// returns cleanly instead of leaking blocked workers.
+	for _, n := range p.nodes {
+		if n.Op.Init == nil {
+			continue
+		}
+		sp := reg.Histogram("dataflow.init.ms", obs.DefaultMsBuckets...).Start()
+		if err := n.Op.Init(); err != nil {
+			return nil, nil, fmt.Errorf("dataflow: init %q: %w", n.Op.Name, err)
+		}
+		stats.PerNode[n.id].InitTime = sp.End()
+	}
+
+	quar := &quarantineLog{limit: cfg.QuarantineLimit}
+	if quar.limit < 0 {
+		quar.limit = 0
+	}
+	// abortErr holds the first FailFast error; once set, workers drain
+	// their queues without processing so the topology still unwinds.
+	var abortErr atomic.Pointer[error]
 
 	// Topology.
 	readers := map[*Node][]*Node{}
@@ -146,15 +345,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	// Run the nodes.
 	var nodeWG sync.WaitGroup
 	for _, n := range p.nodes {
-		ns := stats.PerNode[n.id]
 		nm := metrics[n.id]
-		if n.Op.Init != nil {
-			sp := reg.Histogram("dataflow.init.ms", obs.DefaultMsBuckets...).Start()
-			if err := n.Op.Init(); err != nil {
-				return nil, nil, fmt.Errorf("dataflow: init %q: %w", n.Op.Name, err)
-			}
-			ns.InitTime = sp.End()
-		}
 		outs := readers[n]
 		emit := func(rec Record) {
 			nm.out.Inc()
@@ -185,13 +376,16 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 						nm.queueDepth.Set(depth)
 						nm.queueWater.Max(depth)
 						nm.in.Inc()
+						if abortErr.Load() != nil {
+							continue // fail-fast: drain without processing
+						}
 						inflight.Add(1)
 						sp := nm.latency.Start()
-						err := n.Op.Fn(rec, emit)
+						err := process(n, nm, cfg, rec, emit, quar)
 						sp.End()
 						inflight.Add(-1)
-						if err != nil && err != ErrStopFlow {
-							nm.errs.Inc()
+						if err != nil {
+							abortErr.CompareAndSwap(nil, &err)
 						}
 					}
 					nm.queueDepth.Set(0)
@@ -234,6 +428,13 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		ns.In = nm.in.Value() - nm.in0
 		ns.Out = nm.out.Value() - nm.out0
 		ns.Errors = nm.errs.Value() - nm.errs0
+		ns.Retries = nm.retries.Value() - nm.retries0
+		ns.Panics = nm.panics.Value() - nm.panics0
+		ns.Quarantined = nm.quarantined.Value() - nm.quar0
+	}
+	stats.Quarantined = quar.sorted()
+	if ep := abortErr.Load(); ep != nil {
+		return nil, stats, *ep
 	}
 	return results, stats, nil
 }

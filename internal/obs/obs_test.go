@@ -309,3 +309,51 @@ func TestDefaultAndOr(t *testing.T) {
 		t.Error("Or(r) != r")
 	}
 }
+
+// TestRegistryLoadResumesStreams: Load is the restore half of
+// checkpoint/resume — a snapshot loaded into a fresh registry followed by
+// the remaining observations must render identically to one uninterrupted
+// registry.
+func TestRegistryLoadResumesStreams(t *testing.T) {
+	firstHalf := func(r *Registry) {
+		r.Counter("c.events").Add(7)
+		r.Gauge("g.depth").Set(12)
+		h := r.Histogram("h.lat", 1, 5, 10)
+		h.Observe(0.5)
+		h.Observe(7)
+	}
+	secondHalf := func(r *Registry) {
+		r.Counter("c.events").Add(3)
+		r.Gauge("g.depth").Set(2)
+		h := r.Histogram("h.lat", 1, 5, 10)
+		h.Observe(3)
+		h.Observe(99)
+	}
+
+	full := New()
+	firstHalf(full)
+	secondHalf(full)
+
+	interrupted := New()
+	firstHalf(interrupted)
+	cp := interrupted.Snapshot()
+
+	resumed := New()
+	resumed.Load(cp)
+	secondHalf(resumed)
+
+	if got, want := resumed.Snapshot().Text(), full.Snapshot().Text(); got != want {
+		t.Fatalf("resumed registry diverges:\n--- resumed\n%s--- full\n%s", got, want)
+	}
+}
+
+// TestRegistryLoadDegradedHistogram: a count/sum-only histogram snapshot
+// (mismatched-merge artifact) still restores count and sum.
+func TestRegistryLoadDegradedHistogram(t *testing.T) {
+	r := New()
+	r.Load(Snapshot{Hists: map[string]HistSnapshot{"h.only": {Count: 4, Sum: 20}}})
+	h, ok := r.Snapshot().Hist("h.only")
+	if !ok || h.Count != 4 || h.Sum != 20 {
+		t.Fatalf("degraded load: %+v ok=%v", h, ok)
+	}
+}

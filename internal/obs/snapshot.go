@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -159,6 +160,43 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		out.Hists[name] = m
 	}
 	return out
+}
+
+// Load seeds the registry from a snapshot: counters and histograms are
+// added on top of any existing state, gauges are overwritten. This is the
+// restore half of checkpoint/resume — a component that snapshots its
+// registry mid-run, restarts, and Loads the snapshot into a fresh registry
+// continues its metric streams exactly where they stopped (histogram
+// bucket counts and sums included, provided the bucket layouts match; a
+// degraded count/sum-only snapshot restores count and sum alone).
+func (r *Registry) Load(s Snapshot) {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Hists {
+		h := r.Histogram(name, hs.Bounds...)
+		h.load(hs)
+	}
+}
+
+// load folds a frozen histogram state into h. Bucket-level restore needs
+// matching layouts; otherwise only count and sum carry over.
+func (h *Histogram) load(hs HistSnapshot) {
+	if sameBounds(h.bounds, hs.Bounds) && len(h.counts) == len(hs.Counts) {
+		for i, c := range hs.Counts {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(hs.Count)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+hs.Sum)) {
+			return
+		}
+	}
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -62,9 +62,33 @@ type Config struct {
 	OffTopicShareOnBiomed float64
 	BiomedShareOnGeneral  float64
 	// FailureRate injects transient fetch failures (timeouts, 5xx): the
-	// given fraction of URLs deterministically fails to fetch. Real crawls
-	// lose a share of fetches and must carry on.
+	// given fraction of URLs is flaky and fails its first k fetch attempts
+	// with ErrFetchFailed before succeeding (k is drawn per URL in
+	// [1, TransientMaxAttempts]). The failure decision is a pure function
+	// of (config, URL, attempt), so a retrying crawler deterministically
+	// recovers every flaky URL while a retry-free crawler sees the same
+	// permanent per-URL failures this knob used to inject.
 	FailureRate float64
+	// TransientMaxAttempts bounds how many attempts a flaky URL fails
+	// before clearing (0 means 3).
+	TransientMaxAttempts int
+	// DeadHostShare is the fraction of hosts that are persistently down:
+	// every fetch attempt against them returns ErrHostDown, forever.
+	DeadHostShare float64
+	// SlowHostShare is the fraction of hosts serving with a latency spike
+	// of SlowLatencyMs virtual milliseconds per fetch (0 means 2000).
+	SlowHostShare float64
+	SlowLatencyMs int
+	// RateLimitShare is the fraction of hosts that throttle: the first one
+	// or two attempts of each URL fail with ErrRateLimited carrying a
+	// deterministic retry-after of RetryAfterMs virtual milliseconds
+	// (0 means 1500).
+	RateLimitShare float64
+	RetryAfterMs   int
+	// TruncateRate is the per-(URL, attempt) probability of a truncated
+	// body: the fetch returns ErrTruncated together with the partial page.
+	// Truncation is transient — a retry re-reads the full body.
+	TruncateRate float64
 	// MirrorShare is the fraction of pages that are near-copies of another
 	// page on the same host (mirrors/syndication — the web "redundancy" of
 	// §1). Mirrors differ from their source only by chrome and a trailing
@@ -170,9 +194,6 @@ type Web struct {
 
 // ErrNotFound is returned for URLs outside the universe.
 var ErrNotFound = errors.New("synthweb: no such page")
-
-// ErrFetchFailed is returned for injected transient failures.
-var ErrFetchFailed = errors.New("synthweb: fetch failed (injected)")
 
 // New builds the web universe. Host metadata is materialized eagerly; page
 // bodies are rendered lazily and deterministically per URL.
@@ -286,18 +307,19 @@ func (w *Web) Robots(host string) (Robots, bool) {
 	return rb, true
 }
 
-// Fetch serves a URL. The result is a pure function of (config, URL).
+// Fetch serves a URL as the first attempt (attempt 0). The result is a
+// pure function of (config, URL): callers that never retry see exactly
+// the failure set FetchAttempt injects at attempt 0.
 func (w *Web) Fetch(rawurl string) (*Page, error) {
-	w.fetches++
+	page, _, err := w.FetchAttempt(rawurl, 0)
+	return page, err
+}
+
+// resolve maps a URL to its rendered page without fault injection.
+func (w *Web) resolve(rawurl string) (*Page, error) {
 	host, path, err := SplitURL(rawurl)
 	if err != nil {
 		return nil, err
-	}
-	if w.cfg.FailureRate > 0 {
-		// Deterministic per-URL failure decision.
-		if rng.New(w.cfg.Seed).Split("fail/" + rawurl).Bool(w.cfg.FailureRate) {
-			return nil, ErrFetchFailed
-		}
 	}
 	h, ok := w.byName[host]
 	if !ok {
@@ -328,6 +350,13 @@ func (w *Web) Fetch(rawurl string) (*Page, error) {
 		}
 	}
 	return w.renderPage(h, idx), nil
+}
+
+// PageContent renders a URL's true page, bypassing fault injection and
+// the fetch counter — the accessor checkpoint restore and ground-truth
+// tooling use to rebuild corpora without perturbing crawl accounting.
+func (w *Web) PageContent(rawurl string) (*Page, error) {
+	return w.resolve(rawurl)
 }
 
 // pageRNG derives the deterministic generator for one page.

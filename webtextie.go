@@ -34,6 +34,7 @@ package webtextie
 import (
 	"webtextie/internal/core"
 	"webtextie/internal/corpora"
+	"webtextie/internal/dataflow"
 	"webtextie/internal/textgen"
 )
 
@@ -59,6 +60,16 @@ type (
 	CorpusKind = textgen.CorpusKind
 	// EntityType is one of the three biomedical entity classes.
 	EntityType = textgen.EntityType
+	// ErrorPolicy selects the data-flow executor's failure response.
+	ErrorPolicy = dataflow.ErrorPolicy
+)
+
+// Executor error policies (Config.ExecPolicy).
+const (
+	// Quarantine counts and dead-letters failing records, then continues.
+	Quarantine = dataflow.Quarantine
+	// FailFast aborts the whole run on the first terminal failure.
+	FailFast = dataflow.FailFast
 )
 
 // Extraction methods.

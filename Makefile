@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos fuzz bench bench-baseline verify
+.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 trace-golden verify
 
 build:
 	$(GO) build ./...
@@ -53,4 +53,18 @@ bench-baseline:
 	$(GO) test -run=NONE -bench . -benchtime 1x | tee /tmp/bench.out
 	$(GO) run ./cmd/benchjson < /tmp/bench.out > BENCH_BASELINE.json
 
-verify: build test vet lint race chaos
+# Regenerate the committed tracing-overhead baseline (BENCH_PR4.json):
+# the PR3 resilience benchmarks re-measured (the tracing-off regression
+# gate, see bench_pr4_test.go) plus the trace-on/off pairs.
+bench-pr4:
+	( $(GO) test -run=NONE -bench 'Crawl' -benchtime 5x ./internal/crawler/ ; \
+	  $(GO) test -run=NONE -bench 'Execute' -benchtime 200x ./internal/dataflow/ ) | tee /tmp/bench_pr4.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr4.out > BENCH_PR4.json
+
+# Golden-test the deterministic trace exports (text/JSON/Chrome byte
+# identity per seed) plus the lintx tracename fixture.
+trace-golden:
+	$(GO) test -run 'Golden|Deterministic|Identical|ByteIdentical' \
+		./internal/obs/trace/ ./internal/crawler/ ./internal/dataflow/ ./internal/analysis/checks/
+
+verify: build test vet lint race chaos trace-golden

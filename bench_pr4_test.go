@@ -1,0 +1,102 @@
+package webtextie
+
+// Gate over the committed tracing-overhead baseline (BENCH_PR4.json,
+// regenerated with `make bench-pr4`). The file re-measures the PR3
+// resilience benchmarks alongside the new trace-on/off pairs in one
+// session, so the tracing-off cost is judged against an untraced twin
+// measured under identical load — absolute comparisons against the
+// PR3-era file would gate on machine drift, not on code.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func loadBenchFile(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := map[string]float64{}
+	for _, e := range b.Benchmarks {
+		if !strings.HasPrefix(e.Name, "Benchmark") {
+			t.Errorf("%s: entry %q does not name a benchmark", path, e.Name)
+		}
+		if _, dup := out[e.Name]; dup {
+			t.Errorf("%s: duplicate entry %q", path, e.Name)
+		}
+		if e.Iterations < 1 {
+			t.Errorf("%s: %s ran %d iterations", path, e.Name, e.Iterations)
+		}
+		if e.Metrics["ns/op"] <= 0 {
+			t.Errorf("%s: %s has ns/op = %v", path, e.Name, e.Metrics["ns/op"])
+		}
+		out[e.Name] = e.Metrics["ns/op"]
+	}
+	return out
+}
+
+// TestBenchPR4TracingOverheadGate enforces the tracing cost contract on
+// the committed numbers: with no recorder attached the crawl and the
+// executor must stay within 2% of their untraced twins (the trace==nil
+// branches are supposed to be free), and the traced runs must be present
+// so the real overhead stays visible in review.
+func TestBenchPR4TracingOverheadGate(t *testing.T) {
+	pr4 := loadBenchFile(t, "BENCH_PR4.json")
+	if len(pr4) == 0 {
+		t.Fatal("BENCH_PR4.json holds no benchmarks")
+	}
+	pairs := []struct{ off, base string }{
+		{"BenchmarkCrawlChaosTraceOff", "BenchmarkCrawlChaosResilient"},
+		{"BenchmarkExecuteTraceOff", "BenchmarkExecuteQuarantineFaultFree"},
+	}
+	for _, p := range pairs {
+		off, base := pr4[p.off], pr4[p.base]
+		if off == 0 || base == 0 {
+			t.Fatalf("BENCH_PR4.json is missing %s or %s", p.off, p.base)
+		}
+		if ratio := off / base; ratio > 1.02 {
+			t.Errorf("%s is %.1f%% slower than %s; tracing-off must cost <=2%%",
+				p.off, 100*(ratio-1), p.base)
+		}
+	}
+	for _, want := range []string{"BenchmarkCrawlChaosTraceOn", "BenchmarkExecuteTraceOn"} {
+		if pr4[want] == 0 {
+			t.Errorf("BENCH_PR4.json is missing %s (the measured tracing-on cost)", want)
+		}
+	}
+}
+
+// TestBenchPR4CoversPR3 keeps the baseline lineage intact: every PR3
+// benchmark is re-measured in BENCH_PR4.json, and no re-measurement moved
+// by more than 2x in either direction (machine drift between sessions is
+// expected; an order-of-magnitude jump means a broken benchmark, not a
+// slower machine).
+func TestBenchPR4CoversPR3(t *testing.T) {
+	pr3 := loadBenchFile(t, "BENCH_PR3.json")
+	pr4 := loadBenchFile(t, "BENCH_PR4.json")
+	for name, old := range pr3 {
+		now := pr4[name]
+		if now == 0 {
+			t.Errorf("BENCH_PR4.json dropped %s (present in BENCH_PR3.json)", name)
+			continue
+		}
+		if ratio := now / old; ratio > 2 || ratio < 0.5 {
+			t.Errorf("%s moved %.2fx between PR3 and PR4 baselines (%s -> %s); "+
+				"re-measure with `make bench-pr4`", name, ratio,
+				fmtNs(old), fmtNs(now))
+		}
+	}
+}
+
+func fmtNs(ns float64) string {
+	return fmt.Sprintf("%.2fms", ns/1e6)
+}

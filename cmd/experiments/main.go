@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-scale N] [-metrics] [experiment ...]
+//	experiments [-quick] [-seed N] [-scale N] [-metrics]
+//	            [-trace] [-debug-addr HOST:PORT] [experiment ...]
 //
 // Experiments: table1 seeds crawl classifier boilerplate table2 table3
 // fig3 fig4 fig5 warstory fig6 pronouns table4 fig7 fig8 jsd all
@@ -16,10 +17,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"webtextie"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/debugserv"
+	"webtextie/internal/obs/trace"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the generation seed (0 = default)")
 	scale := flag.Int("scale", 0, "override the corpus scale factor (0 = default)")
 	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
+	traceOn := flag.Bool("trace", false, "attach the record-lineage trace recorder to every dataflow execution")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /progress /debug/pprof) on HOST:PORT (implies -trace)")
 	flag.Parse()
 
 	cfg := webtextie.DefaultConfig()
@@ -38,6 +44,26 @@ func main() {
 	}
 	if *scale != 0 {
 		cfg.Corpora.ScaleFactor = *scale
+	}
+
+	var rec *trace.Recorder
+	if *traceOn || *debugAddr != "" {
+		rec = trace.NewRecorder(trace.DefaultConfig(cfg.Corpora.Seed))
+		cfg.ExecTrace = rec
+	}
+	var current atomic.Value
+	current.Store("starting")
+	if *debugAddr != "" {
+		srv, err := debugserv.Start(*debugAddr, debugserv.Options{
+			Registry: obs.Default(),
+			Traces:   rec,
+			Progress: func() any { return map[string]any{"experiment": current.Load()} },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
 	}
 
 	exp := webtextie.NewExperiments(cfg)
@@ -85,9 +111,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", name, known)
 			os.Exit(2)
 		}
+		current.Store(name)
 		sp := obs.Default().StartSpan("experiments.run")
 		fmt.Println(run())
 		fmt.Printf("[%s completed in %s]\n\n", name, sp.End().Round(time.Millisecond))
+	}
+	current.Store("done")
+
+	if rec != nil {
+		s := rec.Snapshot()
+		counts := s.ErrClassCounts()
+		fmt.Printf("traces: %d retained", len(s.Traces))
+		for _, cl := range trace.SortedErrClasses(counts) {
+			fmt.Printf(", %s=%d", cl, counts[cl])
+		}
+		fmt.Println()
 	}
 
 	if *metrics {

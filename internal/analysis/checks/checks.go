@@ -9,6 +9,8 @@
 //	             context, or channel it drains)
 //	errsink      no discarded errors on store/crawldb write paths
 //	metricname   obs registry keys are constants in the dotted-name grammar
+//	tracename    trace span/event names are constants in the dotted-name
+//	             grammar; attr keys are constant lower_snake identifiers
 //	sleepcall    no blocking time primitives in crawler/dataflow paths
 //	             (backoff runs on the virtual clock, not time.Sleep)
 //
@@ -34,6 +36,7 @@ func All() []*analysis.Analyzer {
 		GoroLeak,
 		ErrSink,
 		MetricName,
+		TraceName,
 		SleepCall,
 	}
 }

@@ -1,0 +1,105 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"webtextie/internal/analysis"
+)
+
+// TraceName enforces the trace recorder's naming contract at every call
+// site into internal/obs/trace:
+//
+//   - span/event names (Recorder.Start, Context.StartSpan/StartSpanKeyed/
+//     Event) must be compile-time constants in the dotted lower-case
+//     grammar shared with metric names — trace exports are golden-tested,
+//     so a name interpolated from data would destabilize every golden and
+//     unbound the event vocabulary;
+//   - mark names (Recorder.Mark) and error classes (Context.Error) must be
+//     constant lower_snake identifiers (a single segment; dots allowed),
+//     because error classes are filter keys on /traces and flight-recorder
+//     pin reasons;
+//   - attribute keys (trace.String/Int/Float) must be constant lower_snake
+//     identifiers for the same reason: exports sort and render them, and
+//     dynamic keys make two same-seed runs diverge.
+//
+// The one sanctioned builder is a function named TraceName (the dataflow
+// executor's per-operator namer), which owns the grammar for computed
+// names.
+var TraceName = &analysis.Analyzer{
+	Name: "tracename",
+	Doc: "trace span/event names must be compile-time constants in the dotted " +
+		"lower-case grammar and attr keys constant lower_snake identifiers " +
+		"(or built by a TraceName helper)",
+	Run: runTraceName,
+}
+
+// traceSegmentRE is the single-segment grammar (mark names, error classes,
+// attribute keys); traceNameRE (= metricNameRE's shape) requires >=2
+// dotted segments.
+var (
+	traceNameRE    = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	traceSegmentRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
+)
+
+// traceNameMethods take a dotted name as their first argument;
+// traceSegmentMethods take a single-segment name; traceAttrFuncs take an
+// attribute key.
+var (
+	traceNameMethods    = map[string]bool{"Start": true, "StartSpan": true, "StartSpanKeyed": true, "Event": true}
+	traceSegmentMethods = map[string]bool{"Mark": true, "Error": true}
+	traceAttrFuncs      = map[string]bool{"String": true, "Int": true, "Float": true}
+)
+
+func runTraceName(pass *analysis.Pass) {
+	// The trace package composes names internally; its own tests and
+	// builders are the grammar's source of truth.
+	if pkgPathMatches(pass.Pkg.PkgPath, "internal/obs/trace") {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "internal/obs/trace") {
+				return true
+			}
+			var re *regexp.Regexp
+			var what string
+			switch {
+			case traceNameMethods[fn.Name()]:
+				re, what = traceNameRE, "trace name"
+			case traceSegmentMethods[fn.Name()]:
+				re, what = traceSegmentRE, "trace label"
+			case traceAttrFuncs[fn.Name()]:
+				re, what = traceSegmentRE, "trace attr key"
+			default:
+				return true
+			}
+			arg := call.Args[0]
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !re.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"%s %q violates the lower-case dotted grammar", what, name)
+				}
+				return true
+			}
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if f := calleeFunc(info, inner); f != nil && f.Name() == "TraceName" {
+					return true
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"%s passed to %s must be a compile-time constant (or a TraceName builder call): "+
+					"dynamic names break golden-tested trace exports and unbound the event vocabulary",
+				what, fn.Name())
+			return true
+		})
+	}
+}

@@ -135,7 +135,8 @@ func (s *System) AnalyzeCorpusFunc(reg *Registry, c *corpora.Corpus, dop int,
 	// the shared registry keeps ExecStats exact.
 	results, execStats, err := dataflow.Execute(plan, records,
 		dataflow.ExecConfig{DoP: dop, Metrics: obs.Default(),
-			Policy: s.Cfg.ExecPolicy, OpRetries: s.Cfg.ExecOpRetries})
+			Policy: s.Cfg.ExecPolicy, OpRetries: s.Cfg.ExecOpRetries,
+			Trace: s.Cfg.ExecTrace, TraceKey: "id"})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %v: %w", c.Kind, err)
 	}

@@ -18,6 +18,7 @@ import (
 	"webtextie/internal/ie/crf"
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/nlp/postag"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/textgen"
 )
@@ -72,6 +73,9 @@ type Config struct {
 	ExecPolicy dataflow.ErrorPolicy
 	// ExecOpRetries is the executor's per-record operator retry budget.
 	ExecOpRetries int
+	// ExecTrace, when set, records per-record lineage traces for every
+	// dataflow execution the system runs (keyed by the record's "id").
+	ExecTrace *trace.Recorder
 }
 
 // DefaultConfig returns the standard full-scale (1:10,000) setup.

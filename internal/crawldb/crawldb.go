@@ -46,6 +46,9 @@ type CrawlDB struct {
 	// retry holds the failed-attempt state of URLs awaiting a retry.
 	retry   map[string]RetryState
 	pending int
+	// trace maps a URL to its obs trace ID (stamped at frontier insertion)
+	// so a URL's lineage survives checkpoint/resume along with the frontier.
+	trace map[string]uint64
 }
 
 // New returns an empty CrawlDB.
@@ -54,7 +57,23 @@ func New() *CrawlDB {
 		status:   map[string]Status{},
 		frontier: map[string][]string{},
 		retry:    map[string]RetryState{},
+		trace:    map[string]uint64{},
 	}
+}
+
+// SetTrace associates a URL with its trace ID. Zero clears the entry.
+func (db *CrawlDB) SetTrace(url string, id uint64) {
+	if id == 0 {
+		delete(db.trace, url)
+		return
+	}
+	db.trace[url] = id
+}
+
+// TraceOf returns the trace ID stamped on a URL, if any.
+func (db *CrawlDB) TraceOf(url string) (uint64, bool) {
+	id, ok := db.trace[url]
+	return id, ok
 }
 
 // Inject adds a URL to the frontier if it is unknown (the Nutch injector).

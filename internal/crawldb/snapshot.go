@@ -12,6 +12,7 @@ type Snapshot struct {
 	Frontier  map[string][]string   `json:"frontier"`
 	HostOrder []string              `json:"host_order"`
 	Retry     map[string]RetryState `json:"retry,omitempty"`
+	Traces    map[string]uint64     `json:"traces,omitempty"`
 }
 
 // Snapshot freezes the database. The result shares no state with the db.
@@ -31,6 +32,12 @@ func (db *CrawlDB) Snapshot() Snapshot {
 	for u, rs := range db.retry {
 		s.Retry[u] = rs
 	}
+	if len(db.trace) > 0 {
+		s.Traces = make(map[string]uint64, len(db.trace))
+		for u, id := range db.trace {
+			s.Traces[u] = id
+		}
+	}
 	return s
 }
 
@@ -48,6 +55,9 @@ func FromSnapshot(s Snapshot) *CrawlDB {
 	db.hostOrder = append([]string(nil), s.HostOrder...)
 	for u, rs := range s.Retry {
 		db.retry[u] = rs
+	}
+	for u, id := range s.Traces {
+		db.trace[u] = id
 	}
 	return db
 }

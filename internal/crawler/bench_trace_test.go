@@ -1,0 +1,33 @@
+package crawler
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/trace"
+)
+
+// Tracing touches the per-URL hot path (one root span per frontier
+// insertion) and the error paths (events per attempt/backoff/breaker
+// transition). The pair below prices it under chaos, where the flight
+// recorder does the most work; BENCH_PR4.json commits both, and the
+// tracing-off numbers double as the no-regression gate against the PR3
+// baseline (bench_pr4_test.go).
+
+func benchChaosCrawl(b *testing.B, traced bool) {
+	p := chaosPipeline(b, 80, nil)
+	seedList := defaultSeeds(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MaxPages = 500
+		c := New(cfg, p.web, p.clf)
+		if traced {
+			c.WithTrace(trace.NewRecorder(trace.DefaultConfig(1)))
+		}
+		_ = c.Run(seedList)
+	}
+}
+
+func BenchmarkCrawlChaosTraceOff(b *testing.B) { benchChaosCrawl(b, false) }
+
+func BenchmarkCrawlChaosTraceOn(b *testing.B) { benchChaosCrawl(b, true) }

@@ -15,6 +15,7 @@ import (
 	"webtextie/internal/classify"
 	"webtextie/internal/crawldb"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 )
 
@@ -35,6 +36,11 @@ type Checkpoint struct {
 	IrrelevantURLs []string `json:"irrelevant_urls"`
 	// Metrics continues the obs streams across the restart.
 	Metrics obs.Snapshot `json:"metrics"`
+	// Traces continues the trace recorder across the restart (nil when the
+	// crawl ran without tracing). Marks are stripped: they are live-debug
+	// annotations, and keeping them would make a resumed run's trace export
+	// differ from an uninterrupted run's.
+	Traces *trace.Snapshot `json:"traces,omitempty"`
 }
 
 // Checkpoint freezes the crawler's state. Call it between Step calls
@@ -68,6 +74,15 @@ func (c *Crawler) Checkpoint() *Checkpoint {
 	}
 	for _, p := range c.irrelevant {
 		cp.IrrelevantURLs = append(cp.IrrelevantURLs, p.URL)
+	}
+	if c.rec != nil {
+		// Record the boundary in the live recorder (visible on /traces and
+		// in end-of-run exports), then freeze without marks for the replay
+		// state.
+		c.rec.Mark("checkpoint", c.nowMs(), trace.Int("cycle", int64(c.stats.Cycles)))
+		snap := c.rec.Snapshot()
+		snap.Marks = nil
+		cp.Traces = snap
 	}
 	return cp
 }
@@ -151,5 +166,7 @@ func Resume(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes, cp *Checkpo
 	snap := cp.Metrics
 	c.resumeMetrics = &snap
 	c.m.reg.Load(snap)
+	// Tracing resumes lazily: WithTrace loads this into the new recorder.
+	c.resumeTraces = cp.Traces
 	return c, nil
 }

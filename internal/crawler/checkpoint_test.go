@@ -3,25 +3,30 @@ package crawler
 import (
 	"bytes"
 	"testing"
+
+	"webtextie/internal/obs/trace"
 )
 
 // TestCheckpointResumeByteIdentical: a crawl interrupted mid-run,
 // serialized through JSON, and resumed in fresh objects finishes with the
-// same stats, corpora, and metric snapshot as the uninterrupted crawl.
+// same stats, corpora, metric snapshot, and exported traces as the
+// uninterrupted crawl.
 func TestCheckpointResumeByteIdentical(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxPages = 250
 	seedsOf := func(p *pipeline) []string { return defaultSeeds(t, p) }
+	traceCfg := trace.DefaultConfig(9)
 
 	// Uninterrupted reference run over a faulty web (retry and breaker
 	// state must survive the checkpoint).
 	p1 := chaosPipeline(t, 50, chaosWeb)
-	ref := New(cfg, p1.web, p1.clf).Run(seedsOf(p1))
+	refRec := trace.NewRecorder(traceCfg)
+	ref := New(cfg, p1.web, p1.clf).WithTrace(refRec).Run(seedsOf(p1))
 
 	// Interrupted run: a few cycles, checkpoint, JSON round-trip, resume
 	// with freshly built (same-seed) web and classifier, finish.
 	p2 := chaosPipeline(t, 50, chaosWeb)
-	c := New(cfg, p2.web, p2.clf)
+	c := New(cfg, p2.web, p2.clf).WithTrace(trace.NewRecorder(traceCfg))
 	c.Seed(seedsOf(p2))
 	for i := 0; i < 3 && c.Step(); i++ {
 	}
@@ -38,9 +43,26 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	gotRec := trace.NewRecorder(traceCfg)
+	rc.WithTrace(gotRec)
 	for rc.Step() {
 	}
 	got := rc.Finish()
+
+	// The trace recorder's exported JSON must be identical between the
+	// uninterrupted run and the killed-and-resumed run.
+	refTraces, err := refRec.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTraces, err := gotRec.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refTraces, gotTraces) {
+		t.Fatalf("trace exports diverge after resume:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			refTraces, gotTraces)
+	}
 
 	if got.Stats != ref.Stats {
 		t.Fatalf("stats diverge:\n%+v\n%+v", got.Stats, ref.Stats)

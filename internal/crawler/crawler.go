@@ -14,6 +14,7 @@ package crawler
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"webtextie/internal/boiler"
 	"webtextie/internal/classify"
@@ -22,6 +23,7 @@ import (
 	"webtextie/internal/langid"
 	"webtextie/internal/mimetype"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
 )
@@ -297,6 +299,14 @@ type Crawler struct {
 	// resumeMetrics remembers the checkpoint's metric snapshot so that
 	// WithMetrics on a resumed crawler re-seeds the new registry too.
 	resumeMetrics *obs.Snapshot
+
+	// rec is the optional per-URL trace recorder (nil = tracing off).
+	rec *trace.Recorder
+	// resumeTraces remembers the checkpoint's trace snapshot for WithTrace.
+	resumeTraces *trace.Snapshot
+	// live publishes a Stats copy after every cycle so debug-server
+	// goroutines can read crawl progress without racing the crawl loop.
+	live atomic.Pointer[Stats]
 }
 
 // New builds a crawler over a synthetic web with a trained classifier.
@@ -332,6 +342,28 @@ func (c *Crawler) WithMetrics(reg *obs.Registry) *Crawler {
 	}
 	return c
 }
+
+// WithTrace points the crawler at a trace recorder: every URL gets a trace
+// at frontier insertion, and fetch attempts, backoffs, breaker transitions,
+// filter/classify verdicts, and checkpoint boundaries are recorded in
+// virtual-clock time. On a resumed crawler the checkpoint's trace snapshot
+// is loaded first, so the recorder continues the original ID stream.
+// Returns the crawler for chaining.
+func (c *Crawler) WithTrace(rec *trace.Recorder) *Crawler {
+	c.rec = rec
+	if c.resumeTraces != nil {
+		rec.Load(c.resumeTraces)
+	}
+	return c
+}
+
+// LiveStats returns the most recent published Stats copy (nil before the
+// first cycle). Safe to call concurrently with a running crawl — this is
+// the debug server's /progress source.
+func (c *Crawler) LiveStats() *Stats { return c.live.Load() }
+
+// TraceRecorder returns the attached recorder (nil when tracing is off).
+func (c *Crawler) TraceRecorder() *trace.Recorder { return c.rec }
 
 // WithEntityMatchers supplies the dictionary matchers the EntityBoost
 // extension consults (§5: crawling and text analytics as a consolidated
@@ -374,6 +406,12 @@ func (c *Crawler) inject(url string, depth int) {
 	}
 	if c.db.Inject(url, host) {
 		c.tunnelDepth[url] = depth
+		// Stamp the URL with its lineage trace at frontier insertion.
+		tc := c.rec.Start("crawler.url", url, c.nowMs(), trace.String("host", host))
+		if tc.Active() {
+			tc.Event("frontier.inject", c.nowMs(), trace.Int("depth", int64(depth)))
+			c.db.SetTrace(url, uint64(tc.Trace))
+		}
 	} else if d, ok := c.tunnelDepth[url]; ok && depth < d {
 		// A better (shallower) path to a known URL keeps the smaller depth.
 		c.tunnelDepth[url] = depth
@@ -444,6 +482,8 @@ func (c *Crawler) Step() bool {
 	before := c.stats.Fetched
 	c.fetchCycle(list)
 	c.m.cycleFetched.Observe(float64(c.stats.Fetched - before))
+	s := c.stats
+	c.live.Store(&s)
 	return true
 }
 
@@ -456,6 +496,8 @@ func (c *Crawler) Finish() *Result {
 	res.Relevant = c.relevant
 	res.IrrelevantPages = c.irrelevant
 	res.Metrics = c.m.reg.Snapshot()
+	s := c.stats
+	c.live.Store(&s)
 	return res
 }
 
@@ -500,19 +542,46 @@ func (c *Crawler) advanceClock(host string, delayMs, latencyMs int) {
 	}
 }
 
+// traceOf re-enters a URL's lineage trace from the ID stamped in the
+// CrawlDB. Returns a no-op context when tracing is off or the URL has none.
+func (c *Crawler) traceOf(url string) trace.Context {
+	if c.rec == nil {
+		return trace.Context{}
+	}
+	id, ok := c.db.TraceOf(url)
+	if !ok {
+		return trace.Context{}
+	}
+	return c.rec.Context(trace.TraceID(id))
+}
+
+// finishTrace closes a URL's trace with its terminal status.
+func (c *Crawler) finishTrace(tc trace.Context, status string, atMs int64) {
+	if !tc.Active() {
+		return
+	}
+	tc.Event("crawl.done", atMs, trace.String("status", status))
+	tc.Finish(atMs)
+}
+
 func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	rb, _ := c.web.Robots(item.Host)
-	if c.breakerRejects(item) {
+	tc := c.traceOf(item.URL)
+	if c.breakerRejects(item, tc) {
 		return
 	}
 	attempt := c.db.Attempts(item.URL)
+	at := tc.StartSpan("crawler.fetch.attempt", c.nowMs(), trace.Int("attempt", int64(attempt)))
 	page, info, err := c.web.FetchAttempt(item.URL, attempt)
 	c.advanceClock(item.Host, rb.CrawlDelayMs, info.LatencyMs)
 	if err != nil {
-		c.onFetchError(item, attempt, info, err)
+		at.End(c.nowMs())
+		c.onFetchError(item, attempt, info, err, tc)
 		return
 	}
-	c.breakerAlive(item.Host)
+	at.Event("fetch.ok", c.nowMs(), trace.Int("bytes", int64(len(page.Body))))
+	at.End(c.nowMs())
+	c.breakerAlive(item.Host, tc)
 	c.stats.Fetched++
 	c.m.fetchOK.Inc()
 	c.m.fetchBytes.Add(int64(len(page.Body)))
@@ -523,6 +592,8 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.stats.FilteredMIME++
 		c.m.filterMIME.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
+		tc.Event("filter.mime", c.nowMs())
+		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
 
@@ -535,6 +606,8 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.stats.FilteredLength++
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
+		tc.Event("filter.length", c.nowMs(), trace.Int("net_text_len", int64(len(netText))))
+		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
 
@@ -543,6 +616,8 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.stats.FilteredLang++
 		c.m.filterLang.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
+		tc.Event("filter.lang", c.nowMs())
+		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
 
@@ -550,6 +625,8 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.stats.FilteredLength++
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
+		tc.Event("filter.length", c.nowMs(), trace.Int("net_text_len", int64(len(netText))))
+		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
 
@@ -568,6 +645,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 			relevant = true
 			c.stats.EntityBoosted++
 			c.m.entityBoosted.Inc()
+			tc.Event("classify.entity.boost", c.nowMs())
 		}
 	}
 
@@ -599,6 +677,9 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.m.classifyRelevant.Inc()
 		c.stats.RelevantBytes += len(page.Body)
 		c.relevant = append(c.relevant, stored)
+		tc.Event("classify.verdict", c.nowMs(),
+			trace.String("verdict", "relevant"), trace.Float("prob", prob))
+		c.finishTrace(tc, "relevant", c.nowMs())
 		for _, l := range page.Links {
 			c.inject(l, 0)
 		}
@@ -608,6 +689,9 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	c.m.classifyIrrelevant.Inc()
 	c.stats.IrrelevantBytes += len(page.Body)
 	c.irrelevant = append(c.irrelevant, stored)
+	tc.Event("classify.verdict", c.nowMs(),
+		trace.String("verdict", "irrelevant"), trace.Float("prob", prob))
+	c.finishTrace(tc, "irrelevant", c.nowMs())
 	// Tunnelling: follow links from irrelevant pages up to depth n-1.
 	if depth+1 < c.cfg.Tunnelling {
 		for _, l := range page.Links {

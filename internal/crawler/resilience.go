@@ -15,6 +15,7 @@ import (
 	"hash/fnv"
 
 	"webtextie/internal/crawldb"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 )
 
@@ -79,7 +80,7 @@ func (c *Crawler) setOpenHostsGauge() {
 // breaker defers the URL to its reopen time (no retry attempt consumed);
 // once the virtual clock reaches openUntil the breaker half-opens and the
 // current URL goes through as the probe.
-func (c *Crawler) breakerRejects(item crawldb.FetchItem) bool {
+func (c *Crawler) breakerRejects(item crawldb.FetchItem, tc trace.Context) bool {
 	if c.cfg.BreakerFailures <= 0 {
 		return false
 	}
@@ -91,18 +92,21 @@ func (c *Crawler) breakerRejects(item crawldb.FetchItem) bool {
 		br.state = brHalfOpen
 		c.m.breakerHalfOpen.Inc()
 		c.setOpenHostsGauge()
+		tc.Event("breaker.halfopen", c.nowMs(), trace.String("host", item.Host))
 		return false
 	}
 	c.db.Defer(item.URL, item.Host, br.openUntil)
 	c.stats.BreakerDeferred++
 	c.m.breakerDeferred.Inc()
+	tc.Event("breaker.defer", c.nowMs(),
+		trace.String("host", item.Host), trace.Int("until_ms", br.openUntil))
 	return true
 }
 
 // breakerAlive records proof the host is serving (success, 404, 429): the
 // consecutive-failure count resets and a half-open probe closes the
 // breaker.
-func (c *Crawler) breakerAlive(host string) {
+func (c *Crawler) breakerAlive(host string, tc trace.Context) {
 	if c.cfg.BreakerFailures <= 0 {
 		return
 	}
@@ -115,13 +119,14 @@ func (c *Crawler) breakerAlive(host string) {
 		br.state = brClosed
 		c.m.breakerClosed.Inc()
 		c.setOpenHostsGauge()
+		tc.Event("breaker.closed", c.nowMs(), trace.String("host", host))
 	}
 }
 
 // breakerCharge records a breaker-relevant failure. A failed half-open
 // probe reopens immediately; a closed breaker opens once consecutive
 // failures reach the threshold.
-func (c *Crawler) breakerCharge(host string, now int64) {
+func (c *Crawler) breakerCharge(host string, now int64, tc trace.Context) {
 	if c.cfg.BreakerFailures <= 0 {
 		return
 	}
@@ -144,6 +149,10 @@ func (c *Crawler) breakerCharge(host string, now int64) {
 		c.stats.BreakerOpens++
 		c.m.breakerOpened.Inc()
 		c.setOpenHostsGauge()
+		// Flight recorder: the URL whose failure tripped the breaker keeps
+		// its full lineage pinned past ring-buffer eviction.
+		tc.Error("breaker_open", now,
+			trace.String("host", host), trace.Int("until_ms", br.openUntil))
 	}
 }
 
@@ -177,12 +186,16 @@ func (c *Crawler) scheduleRetry(item crawldb.FetchItem, eligibleMs int64) {
 }
 
 // abandon marks a URL terminally failed after its retry budget ran out.
-func (c *Crawler) abandon(url string) {
+// The trace is pinned (retry exhaustion is an error-class event) and
+// finished.
+func (c *Crawler) abandon(url string, tc trace.Context, now int64) {
 	c.db.SetStatus(url, crawldb.Failed)
 	if c.cfg.MaxRetries > 0 {
 		c.stats.RetriesExhausted++
 		c.m.retryExhausted.Inc()
+		tc.Error("retry_exhausted", now, trace.Int("attempts", int64(c.cfg.MaxRetries+1)))
 	}
+	c.finishTrace(tc, "failed", now)
 }
 
 // onFetchError classifies a failed fetch attempt and decides between
@@ -194,19 +207,22 @@ func (c *Crawler) abandon(url string) {
 //     breaker and back off exponentially while the budget lasts;
 //   - 404s and malformed URLs fail permanently (retrying is futile) and
 //     count as proof of life for the breaker.
-func (c *Crawler) onFetchError(item crawldb.FetchItem, attempt int, info synthweb.FetchInfo, err error) {
+func (c *Crawler) onFetchError(item crawldb.FetchItem, attempt int, info synthweb.FetchInfo, err error, tc trace.Context) {
 	c.stats.FetchErrors++
 	c.m.fetchErr.Inc()
 	now := c.nowMs()
+	tc.Event("fetch.error", now,
+		trace.Int("attempt", int64(attempt)), trace.String("cause", err.Error()))
 	switch {
 	case errors.Is(err, synthweb.ErrRateLimited):
 		c.stats.RateLimited++
 		c.m.rateLimited.Inc()
-		c.breakerAlive(item.Host)
+		c.breakerAlive(item.Host, tc)
 		if attempt < c.cfg.MaxRetries {
+			tc.Event("retry.ratelimit", now, trace.Int("retry_after_ms", int64(info.RetryAfterMs)))
 			c.scheduleRetry(item, now+int64(info.RetryAfterMs))
 		} else {
-			c.abandon(item.URL)
+			c.abandon(item.URL, tc, now)
 		}
 	case errors.Is(err, synthweb.ErrHostDown),
 		errors.Is(err, synthweb.ErrFetchFailed),
@@ -217,16 +233,19 @@ func (c *Crawler) onFetchError(item crawldb.FetchItem, attempt int, info synthwe
 		if errors.Is(err, synthweb.ErrTruncated) {
 			c.m.truncated.Inc()
 		}
-		c.breakerCharge(item.Host, now)
+		c.breakerCharge(item.Host, now, tc)
 		if attempt < c.cfg.MaxRetries {
 			d := c.backoffDelay(item.URL, attempt)
 			c.m.retryBackoffMs.Observe(float64(d))
+			tc.Event("retry.backoff", now,
+				trace.Int("attempt", int64(attempt)), trace.Int("delay_ms", d))
 			c.scheduleRetry(item, now+d)
 		} else {
-			c.abandon(item.URL)
+			c.abandon(item.URL, tc, now)
 		}
 	default:
-		c.breakerAlive(item.Host)
+		c.breakerAlive(item.Host, tc)
 		c.db.SetStatus(item.URL, crawldb.Failed)
+		c.finishTrace(tc, "failed", now)
 	}
 }

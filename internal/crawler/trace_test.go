@@ -1,0 +1,163 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"webtextie/internal/obs/trace"
+)
+
+// chaosTracedRun drives a chaos crawl with a trace recorder attached and
+// returns the recorder.
+func chaosTracedRun(t testing.TB, maxPages int) *trace.Recorder {
+	t.Helper()
+	p := chaosPipeline(t, 50, chaosWeb)
+	cfg := DefaultConfig()
+	cfg.MaxPages = maxPages
+	rec := trace.NewRecorder(trace.DefaultConfig(1))
+	New(cfg, p.web, p.clf).WithTrace(rec).Run(defaultSeeds(t, p))
+	return rec
+}
+
+// TestChaosTraceDeterministic: two same-seed chaos crawls export
+// byte-identical traces in every format.
+func TestChaosTraceDeterministic(t *testing.T) {
+	a := chaosTracedRun(t, 250).Snapshot()
+	b := chaosTracedRun(t, 250).Snapshot()
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("same-seed chaos crawls exported different trace JSON")
+	}
+	if a.Text() != b.Text() {
+		t.Fatal("same-seed chaos crawls exported different trace text")
+	}
+	ac, _ := a.Chrome()
+	bc, _ := b.Chrome()
+	if string(ac) != string(bc) {
+		t.Fatal("same-seed chaos crawls exported different chrome JSON")
+	}
+}
+
+// TestBreakerOpenYieldsPinnedLineage is the acceptance criterion: a
+// breaker-opened host pins a trace whose span tree names every hop —
+// frontier insertion, each fetch attempt, each backoff, the breaker
+// transition — and the trace survives eviction.
+func TestBreakerOpenYieldsPinnedLineage(t *testing.T) {
+	rec := chaosTracedRun(t, 250)
+	s := rec.Snapshot()
+
+	opened := s.Filter(trace.Filter{ErrClass: "breaker_open"})
+	if len(opened.Traces) == 0 {
+		t.Fatal("chaos crawl opened no breakers (fault config too mild?)")
+	}
+	for _, tr := range opened.Traces {
+		if !tr.Pinned {
+			t.Fatalf("breaker_open trace %s not pinned", tr.ID)
+		}
+	}
+	// The lineage of one pinned trace names every hop.
+	tr := opened.Traces[0]
+	text := s.Filter(trace.Filter{Key: tr.Key, PinnedOnly: true}).Text()
+	for _, hop := range []string{
+		"span crawler.url",
+		"frontier.inject",
+		"span crawler.fetch.attempt",
+		"fetch.error",
+		"error class=breaker_open",
+	} {
+		if !strings.Contains(text, hop) {
+			t.Fatalf("pinned lineage missing %q:\n%s", hop, text)
+		}
+	}
+	// Backoffs appear somewhere among the pinned breaker traces (an open
+	// breaker requires repeated failures, which back off while budget
+	// lasts).
+	if !strings.Contains(opened.Text(), "retry.backoff") {
+		t.Fatalf("no retry.backoff recorded in breaker lineages:\n%s", opened.Text())
+	}
+}
+
+// TestRetryExhaustionPinsTrace: a URL that runs out of retry budget is a
+// flight-recorder event too.
+func TestRetryExhaustionPinsTrace(t *testing.T) {
+	// Small web, no page cap: the crawl runs to frontier exhaustion, so
+	// every dead-host URL burns its full retry budget (breakers off).
+	p := chaosPipeline(t, 10, chaosWeb)
+	cfg := DefaultConfig()
+	cfg.BreakerFailures = 0
+	rec := trace.NewRecorder(trace.DefaultConfig(1))
+	New(cfg, p.web, p.clf).WithTrace(rec).Run(defaultSeeds(t, p))
+	s := rec.Snapshot()
+	exhausted := s.Filter(trace.Filter{ErrClass: "retry_exhausted"})
+	if len(exhausted.Traces) == 0 {
+		t.Fatal("no URL exhausted its retry budget despite disabled breakers")
+	}
+	for _, tr := range exhausted.Traces {
+		if !tr.Pinned {
+			t.Fatalf("retry_exhausted trace %s not pinned", tr.ID)
+		}
+		if !tr.Done {
+			t.Fatalf("retry_exhausted trace %s not finished", tr.ID)
+		}
+	}
+}
+
+// TestTraceOffCrawlIdentical: attaching no recorder changes nothing about
+// the crawl itself (stats and corpus match a traced run).
+func TestTraceOffCrawlIdentical(t *testing.T) {
+	run := func(withTrace bool) *Result {
+		p := chaosPipeline(t, 50, chaosWeb)
+		cfg := DefaultConfig()
+		cfg.MaxPages = 250
+		c := New(cfg, p.web, p.clf)
+		if withTrace {
+			c.WithTrace(trace.NewRecorder(trace.DefaultConfig(1)))
+		}
+		return c.Run(defaultSeeds(t, p))
+	}
+	off, on := run(false), run(true)
+	if off.Stats != on.Stats {
+		t.Fatalf("tracing changed crawl stats:\noff: %+v\non:  %+v", off.Stats, on.Stats)
+	}
+	if len(off.Relevant) != len(on.Relevant) {
+		t.Fatal("tracing changed the relevant corpus")
+	}
+	if off.Metrics.Text() != on.Metrics.Text() {
+		t.Fatal("tracing changed the metric snapshot")
+	}
+}
+
+// TestCrawlTraceIDsStoredInDB: every traced URL's ID is resolvable through
+// the CrawlDB, so lineage lookups by URL work after the crawl.
+func TestCrawlTraceIDsStoredInDB(t *testing.T) {
+	p := chaosPipeline(t, 20, nil)
+	cfg := DefaultConfig()
+	cfg.MaxPages = 100
+	rec := trace.NewRecorder(trace.DefaultConfig(7))
+	res := New(cfg, p.web, p.clf).WithTrace(rec).Run(defaultSeeds(t, p))
+
+	s := rec.Snapshot()
+	checked := 0
+	for _, page := range res.Relevant {
+		id, ok := res.CrawlDB.TraceOf(page.URL)
+		if !ok {
+			t.Fatalf("no trace ID stored for crawled %s", page.URL)
+		}
+		if tr := s.Find(trace.TraceID(id)); tr != nil {
+			if tr.Key != page.URL {
+				t.Fatalf("trace %s key %q != URL %q", tr.ID, tr.Key, page.URL)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no crawled page's trace survived retention; widen bounds")
+	}
+}

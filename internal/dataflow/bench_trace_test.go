@@ -1,0 +1,26 @@
+package dataflow
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/trace"
+)
+
+// Tracing mints one root span per record plus one child span per operator
+// hop, all under the recorder's mutex. The pair below prices that against
+// the untraced fast path (cfg.Trace == nil skips every trace branch);
+// BENCH_PR4.json commits both.
+
+func benchExecuteTrace(b *testing.B, traced bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := ExecConfig{DoP: 2, Policy: Quarantine}
+		if traced {
+			cfg.Trace = trace.NewRecorder(trace.DefaultConfig(1))
+		}
+		_, _, _ = Execute(benchPlan(), input(500), cfg)
+	}
+}
+
+func BenchmarkExecuteTraceOff(b *testing.B) { benchExecuteTrace(b, false) }
+
+func BenchmarkExecuteTraceOn(b *testing.B) { benchExecuteTrace(b, true) }

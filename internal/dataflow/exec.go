@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/trace"
 )
 
 // ErrorPolicy selects Execute's response to UDF errors and panics.
@@ -55,6 +56,18 @@ type ExecConfig struct {
 	// ExecStats.Quarantined (0 means 1024; negative retains none).
 	// Overflowing records are still counted in stats and metrics.
 	QuarantineLimit int
+	// Trace, when set, records every record's lineage: one trace per input
+	// record, one span per operator the record (or a record derived from
+	// it) passes through, with retry/panic/quarantine events. Timestamps
+	// are the plan-position logical clock (node id), so exports are
+	// deterministic per seed even under DoP > 1. Under FailFast the drain
+	// after an abort leaves unprocessed spans open — trace determinism is
+	// only guaranteed under the Quarantine policy.
+	Trace *trace.Recorder
+	// TraceKey names the record field holding the document identity used
+	// as the trace key (e.g. "id"). Records without the field fall back to
+	// an input-index key.
+	TraceKey string
 }
 
 // DefaultExecConfig uses DoP 4.
@@ -83,6 +96,10 @@ type QuarantinedRecord struct {
 	Err string
 	// Rec is the offending input record.
 	Rec Record
+	// Trace is the hex trace ID of the record's lineage (empty when the
+	// execution ran without tracing) — the handle for reconstructing every
+	// hop the record took before it was dead-lettered.
+	Trace string
 }
 
 // ExecStats describes one plan execution.
@@ -175,6 +192,13 @@ func safeUDF(fn UDF, rec Record, emit Emit) (err error) {
 	return fn(rec, emit)
 }
 
+// flowItem is one record in flight between operators, paired with its
+// lineage trace context (a zero Context when tracing is off).
+type flowItem struct {
+	rec Record
+	tc  trace.Context
+}
+
 // quarantineLog collects dead-letter records across worker goroutines.
 type quarantineLog struct {
 	mu    sync.Mutex
@@ -182,14 +206,18 @@ type quarantineLog struct {
 	recs  []QuarantinedRecord
 }
 
-func (q *quarantineLog) add(n *Node, rec Record, err error) {
+func (q *quarantineLog) add(n *Node, rec Record, err error, tc trace.Context) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.recs) >= q.limit {
 		return
 	}
+	id := ""
+	if tc.Active() {
+		id = tc.Trace.String()
+	}
 	q.recs = append(q.recs, QuarantinedRecord{
-		NodeID: n.id, Op: n.Op.Name, Err: err.Error(), Rec: rec.Clone(),
+		NodeID: n.id, Op: n.Op.Name, Err: err.Error(), Rec: rec.Clone(), Trace: id,
 	})
 }
 
@@ -215,7 +243,9 @@ func (q *quarantineLog) sorted() []QuarantinedRecord {
 // panic recovery, up to cfg.OpRetries re-presentations (each attempt's
 // emissions buffered and discarded on failure), then quarantine or abort.
 // A non-nil return is a FailFast abort.
-func process(n *Node, nm *nodeMetrics, cfg ExecConfig, rec Record, emit Emit, q *quarantineLog) error {
+func process(n *Node, nm *nodeMetrics, cfg ExecConfig, item flowItem, emit Emit, q *quarantineLog) error {
+	rec, tc := item.rec, item.tc
+	ts := int64(n.id) // plan-position logical clock
 	var lastErr error
 	for attempt := 0; attempt <= cfg.OpRetries; attempt++ {
 		in, out := rec, emit
@@ -227,10 +257,12 @@ func process(n *Node, nm *nodeMetrics, cfg ExecConfig, rec Record, emit Emit, q 
 			if attempt > 0 {
 				in = rec.Clone()
 				nm.retries.Inc()
+				tc.Event("op.retry", ts, trace.Int("attempt", int64(attempt)))
 			}
 		}
 		err := safeUDF(n.Op.Fn, in, out)
 		if errors.Is(err, ErrStopFlow) {
+			tc.Event("op.filtered", ts)
 			return nil // filtered, not a failure
 		}
 		if err == nil {
@@ -241,15 +273,22 @@ func process(n *Node, nm *nodeMetrics, cfg ExecConfig, rec Record, emit Emit, q 
 		}
 		if errors.Is(err, errPanic) {
 			nm.panics.Inc()
+			// Panic recovery is a flight-recorder event: pin the lineage.
+			tc.Error("panic", ts, trace.String("op", n.Op.Name))
 		}
 		lastErr = err
 	}
 	nm.errs.Inc()
 	if cfg.Policy == FailFast {
+		tc.Event("op.abort", ts, trace.String("cause", lastErr.Error()))
 		return fmt.Errorf("dataflow: op %q: %w", n.Op.Name, lastErr)
 	}
 	nm.quarantined.Inc()
-	q.add(n, rec, lastErr)
+	// Quarantine routing pins the record's full lineage so the dead letter
+	// is reconstructible hop by hop.
+	tc.Error("quarantine", ts,
+		trace.String("op", n.Op.Name), trace.String("cause", lastErr.Error()))
+	q.add(n, rec, lastErr, tc)
 	return nil
 }
 
@@ -317,10 +356,10 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 			readers[in] = append(readers[in], n)
 		}
 	}
-	inCh := map[*Node]chan Record{}
+	inCh := map[*Node]chan flowItem{}
 	upstreams := map[*Node]*sync.WaitGroup{}
 	for _, n := range p.nodes {
-		inCh[n] = make(chan Record, cfg.ChannelBuffer)
+		inCh[n] = make(chan flowItem, cfg.ChannelBuffer)
 		wg := &sync.WaitGroup{}
 		if len(n.Inputs) == 0 {
 			wg.Add(1) // the feeder
@@ -342,12 +381,27 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	results := map[int][]Record{}
 	var resultsMu sync.Mutex
 
+	// Span names per node, via the sanctioned dotted-name builder (operator
+	// names are config data, not compile-time constants).
+	spanName := map[int]string{}
+	for _, n := range p.nodes {
+		spanName[n.id] = trace.TraceName("dataflow.op", n.Op.Name)
+	}
+	// hopSlot keys a child span by (downstream node, emit index): the emit
+	// index is serial within one process() call, so span IDs are
+	// deterministic per record path regardless of worker interleaving.
+	hopSlot := func(nodeID int, emitIdx int) uint64 {
+		return uint64(nodeID)<<32 | uint64(emitIdx)
+	}
+
 	// Run the nodes.
 	var nodeWG sync.WaitGroup
 	for _, n := range p.nodes {
 		nm := metrics[n.id]
 		outs := readers[n]
-		emit := func(rec Record) {
+		// emitFrom routes one emission, minting the downstream hop's span
+		// as a child of the emitting record's span.
+		emitFrom := func(rec Record, parent trace.Context, emitIdx int) {
 			nm.out.Inc()
 			if sinkSet[n] {
 				resultsMu.Lock()
@@ -356,22 +410,24 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 				return
 			}
 			for i, r := range outs {
-				if i == len(outs)-1 {
-					inCh[r] <- rec
-				} else {
-					inCh[r] <- rec.Clone()
+				out := rec
+				if i != len(outs)-1 {
+					out = rec.Clone()
 				}
+				//lintx:ignore tracename spanName entries are precomputed through TraceName at plan build
+				tc := parent.StartSpanKeyed(spanName[r.id], hopSlot(r.id, emitIdx), int64(r.id))
+				inCh[r] <- flowItem{rec: out, tc: tc}
 			}
 		}
 		nodeWG.Add(1)
-		go func(n *Node, nm *nodeMetrics, emit Emit) {
+		go func(n *Node, nm *nodeMetrics) {
 			defer nodeWG.Done()
 			var workerWG sync.WaitGroup
 			for w := 0; w < cfg.DoP; w++ {
 				workerWG.Add(1)
 				go func() {
 					defer workerWG.Done()
-					for rec := range inCh[n] {
+					for item := range inCh[n] {
 						depth := int64(len(inCh[n]))
 						nm.queueDepth.Set(depth)
 						nm.queueWater.Max(depth)
@@ -381,8 +437,14 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 						}
 						inflight.Add(1)
 						sp := nm.latency.Start()
-						err := process(n, nm, cfg, rec, emit, quar)
+						emitIdx := 0
+						emit := func(rec Record) {
+							emitFrom(rec, item.tc, emitIdx)
+							emitIdx++
+						}
+						err := process(n, nm, cfg, item, emit, quar)
 						sp.End()
+						item.tc.End(int64(n.id) + 1)
 						inflight.Add(-1)
 						if err != nil {
 							abortErr.CompareAndSwap(nil, &err)
@@ -396,11 +458,29 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 			for _, r := range readers[n] {
 				upstreams[r].Done()
 			}
-		}(n, nm, emit)
+		}(n, nm)
+	}
+
+	// One lineage trace per input record, minted serially in input order so
+	// trace IDs are deterministic. Keys come from the TraceKey field when
+	// present.
+	var roots []trace.Context
+	if cfg.Trace != nil {
+		roots = make([]trace.Context, len(input))
+		for i, rec := range input {
+			key := fmt.Sprintf("record.%06d", i)
+			if cfg.TraceKey != "" {
+				if s, ok := rec[cfg.TraceKey].(string); ok && s != "" {
+					key = s
+				}
+			}
+			roots[i] = cfg.Trace.Start("dataflow.record", key, 0, trace.Int("index", int64(i)))
+		}
 	}
 
 	// Feed sources. With several source nodes, each gets its own copy of
-	// the records so concurrent operators never share mutable maps.
+	// the records so concurrent operators never share mutable maps, and its
+	// own source-hop span under the record's root.
 	var sources []*Node
 	for _, n := range p.nodes {
 		if len(n.Inputs) == 0 {
@@ -409,18 +489,27 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	}
 	for si, n := range sources {
 		go func(n *Node, cloneAll bool) {
-			for _, rec := range input {
+			for i, rec := range input {
 				if cloneAll {
-					inCh[n] <- rec.Clone()
-				} else {
-					inCh[n] <- rec
+					rec = rec.Clone()
 				}
+				var tc trace.Context
+				if roots != nil {
+					//lintx:ignore tracename spanName entries are precomputed through TraceName at plan build
+					tc = roots[i].StartSpanKeyed(spanName[n.id], hopSlot(n.id, 0), int64(n.id))
+				}
+				inCh[n] <- flowItem{rec: rec, tc: tc}
 			}
 			upstreams[n].Done()
 		}(n, si < len(sources)-1)
 	}
 
 	nodeWG.Wait()
+	// Close every record's trace at the end of the plan (serial, so
+	// retention decisions replay identically run to run).
+	for i := range roots {
+		roots[i].Finish(int64(len(p.nodes)) + 1)
+	}
 	stats.Wall = wall.End()
 	// Fill the public per-node stats from the registry deltas.
 	for _, n := range p.nodes {

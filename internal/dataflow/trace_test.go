@@ -1,0 +1,237 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"webtextie/internal/obs/trace"
+)
+
+// tracedInput gives every record a string id so traces key on it.
+func tracedInput(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{"id": fmt.Sprintf("doc-%04d", i), "x": i}
+	}
+	return recs
+}
+
+// faultyPlan: src -> shaky (errors on ids divisible by div) -> mark.
+func faultyPlan(div int) *Plan {
+	p := &Plan{}
+	src := p.Add(passOp("src"))
+	shaky := p.Add(&Op{Name: "shaky", Pkg: IE, Selectivity: 1,
+		Fn: func(r Record, emit Emit) error {
+			if r["x"].(int)%div == 0 {
+				return errors.New("degenerate document")
+			}
+			emit(r)
+			return nil
+		}}, src)
+	p.Add(setOp("mark", "done", true), shaky)
+	return p
+}
+
+// TestQuarantinedRecordPinnedLineage is the acceptance criterion: a
+// quarantined record yields a pinned trace whose span tree names every
+// operator hop it took before quarantine, and the dead-letter entry links
+// back to the trace by ID.
+func TestQuarantinedRecordPinnedLineage(t *testing.T) {
+	rec := trace.NewRecorder(trace.DefaultConfig(5))
+	_, stats, err := Execute(faultyPlan(10), tracedInput(60),
+		ExecConfig{DoP: 4, Policy: Quarantine, Trace: rec, TraceKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Quarantined) == 0 {
+		t.Fatal("no records quarantined")
+	}
+	s := rec.Snapshot()
+	for _, qr := range stats.Quarantined {
+		if qr.Trace == "" {
+			t.Fatalf("quarantined record %v has no trace ID", qr.Rec)
+		}
+		id, err := trace.ParseID(qr.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := s.Find(id)
+		if tr == nil {
+			t.Fatalf("quarantined trace %s not retained", qr.Trace)
+		}
+		if !tr.Pinned || !tr.HasErrClass("quarantine") {
+			t.Fatalf("quarantined trace %s not pinned: %+v", qr.Trace, tr)
+		}
+		// The lineage names every hop: root -> src -> shaky, with the
+		// quarantine event on the failing hop.
+		text := s.Filter(trace.Filter{Key: tr.Key}).Text()
+		for _, hop := range []string{
+			"span dataflow.record",
+			"span dataflow.op.src",
+			"span dataflow.op.shaky",
+			"error class=quarantine op=shaky",
+		} {
+			if !strings.Contains(text, hop) {
+				t.Fatalf("lineage of %s missing %q:\n%s", tr.Key, hop, text)
+			}
+		}
+		// A quarantined record never reached the downstream op.
+		if strings.Contains(text, "dataflow.op.mark") {
+			t.Fatalf("quarantined record shows post-quarantine hop:\n%s", text)
+		}
+	}
+}
+
+// TestExecuteTraceDeterministicUnderDoP: byte-identical exports from
+// repeated DoP>1 runs — the concurrent-emitter half of the determinism
+// claim, exercised through the real executor.
+func TestExecuteTraceDeterministicUnderDoP(t *testing.T) {
+	run := func(dop int) string {
+		rec := trace.NewRecorder(trace.DefaultConfig(11))
+		_, _, err := Execute(faultyPlan(7), tracedInput(120),
+			ExecConfig{DoP: dop, Policy: Quarantine, OpRetries: 1, Trace: rec, TraceKey: "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := rec.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	base := run(8)
+	for i := 0; i < 3; i++ {
+		if got := run(8); got != base {
+			t.Fatalf("DoP=8 run %d exported different traces", i)
+		}
+	}
+	// DoP must not change the trace content either: worker count is an
+	// execution detail, not part of the record's story.
+	if got := run(1); got != base {
+		t.Fatal("DoP=1 and DoP=8 exported different traces")
+	}
+}
+
+// TestPanicPinsTrace: a panicking UDF is recovered and the record's
+// lineage is pinned with the panic error class.
+func TestPanicPinsTrace(t *testing.T) {
+	p := &Plan{}
+	src := p.Add(passOp("src"))
+	p.Add(&Op{Name: "boom", Pkg: IE, Selectivity: 1,
+		Fn: func(r Record, emit Emit) error {
+			if r["x"].(int) == 3 {
+				panic("degenerate page")
+			}
+			emit(r)
+			return nil
+		}}, src)
+	rec := trace.NewRecorder(trace.DefaultConfig(2))
+	_, stats, err := Execute(p, tracedInput(10),
+		ExecConfig{DoP: 2, Policy: Quarantine, Trace: rec, TraceKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerNode[1].Panics != 1 {
+		t.Fatalf("want 1 panic, got %d", stats.PerNode[1].Panics)
+	}
+	pinned := rec.Snapshot().Filter(trace.Filter{ErrClass: "panic"})
+	if len(pinned.Traces) != 1 || !pinned.Traces[0].Pinned {
+		t.Fatalf("panic did not pin exactly one trace: %d", len(pinned.Traces))
+	}
+	if pinned.Traces[0].Key != "doc-0003" {
+		t.Fatalf("wrong record pinned: %s", pinned.Traces[0].Key)
+	}
+}
+
+// TestRetrySucceedsTraceShowsAttempts: a record that succeeds on retry
+// carries op.retry events but no error class.
+func TestRetrySucceedsTraceShowsAttempts(t *testing.T) {
+	fails := map[int]int{}
+	p := &Plan{}
+	src := p.Add(passOp("src"))
+	p.Add(&Op{Name: "flaky", Pkg: IE, Selectivity: 1,
+		Fn: func(r Record, emit Emit) error {
+			x := r["x"].(int)
+			if x == 5 && fails[x] < 2 {
+				fails[x]++
+				return errors.New("transient")
+			}
+			emit(r)
+			return nil
+		}}, src)
+	rec := trace.NewRecorder(trace.DefaultConfig(3))
+	_, stats, err := Execute(p, tracedInput(8),
+		ExecConfig{DoP: 1, OpRetries: 2, Trace: rec, TraceKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerNode[1].Retries != 2 {
+		t.Fatalf("want 2 retries, got %d", stats.PerNode[1].Retries)
+	}
+	s := rec.Snapshot()
+	text := s.Filter(trace.Filter{Key: "doc-0005"}).Text()
+	if !strings.Contains(text, "op.retry") {
+		t.Fatalf("retried record's trace lacks op.retry:\n%s", text)
+	}
+	if tr := s.Filter(trace.Filter{Key: "doc-0005"}).Traces[0]; len(tr.ErrClasses) != 0 {
+		t.Fatalf("recovered record should have no error class: %v", tr.ErrClasses)
+	}
+}
+
+// TestTraceOffExecuteIdentical: an untraced execution returns the same
+// results and stats as a traced one.
+func TestTraceOffExecuteIdentical(t *testing.T) {
+	run := func(rec *trace.Recorder) (map[int][]Record, *ExecStats) {
+		out, stats, err := Execute(faultyPlan(10), tracedInput(60),
+			ExecConfig{DoP: 4, Policy: Quarantine, Trace: rec, TraceKey: "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, stats
+	}
+	offOut, offStats := run(nil)
+	onOut, onStats := run(trace.NewRecorder(trace.DefaultConfig(1)))
+	if len(offOut) != len(onOut) {
+		t.Fatal("tracing changed sink count")
+	}
+	for id := range offOut {
+		if len(offOut[id]) != len(onOut[id]) {
+			t.Fatalf("tracing changed sink %d size", id)
+		}
+	}
+	if offStats.TotalQuarantined() != onStats.TotalQuarantined() {
+		t.Fatal("tracing changed quarantine counts")
+	}
+	// The only permitted Quarantined difference is the trace ID itself.
+	for i := range offStats.Quarantined {
+		a, b := offStats.Quarantined[i], onStats.Quarantined[i]
+		if a.NodeID != b.NodeID || a.Op != b.Op || a.Err != b.Err {
+			t.Fatalf("tracing changed quarantine entry %d", i)
+		}
+		if a.Trace != "" || b.Trace == "" {
+			t.Fatalf("trace IDs wrong: off=%q on=%q", a.Trace, b.Trace)
+		}
+	}
+}
+
+// TestFanOutLineage: one record emitted to two downstream readers shows
+// both hops under the same trace.
+func TestFanOutLineage(t *testing.T) {
+	p := &Plan{}
+	src := p.Add(passOp("src"))
+	p.Add(setOp("left", "l", 1), src)
+	p.Add(setOp("right", "r", 1), src)
+	rec := trace.NewRecorder(trace.DefaultConfig(4))
+	_, _, err := Execute(p, tracedInput(5), ExecConfig{DoP: 2, Trace: rec, TraceKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rec.Snapshot().Filter(trace.Filter{Key: "doc-0000"}).Text()
+	for _, hop := range []string{"dataflow.op.src", "dataflow.op.left", "dataflow.op.right"} {
+		if !strings.Contains(text, hop) {
+			t.Fatalf("fan-out lineage missing %q:\n%s", hop, text)
+		}
+	}
+}

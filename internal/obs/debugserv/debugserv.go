@@ -1,0 +1,207 @@
+// Package debugserv is the opt-in live debug server: a stdlib-only HTTP
+// endpoint exposing the process's metrics registry, the trace recorder's
+// recent and pinned lineages, a caller-supplied progress snapshot, and
+// net/http/pprof. Binaries enable it with -debug-addr; nothing is served
+// unless the flag is set, and the server holds no state of its own — every
+// request renders a fresh snapshot, so the handlers are safe while the
+// crawl or dataflow is running.
+package debugserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"webtextie/internal/obs"
+	"webtextie/internal/obs/trace"
+)
+
+// Options wires the server to the process's observability surfaces. Any
+// field may be nil; the corresponding endpoint reports that it is off.
+type Options struct {
+	// Registry backs /metrics (text and JSON).
+	Registry *obs.Registry
+	// Traces backs /traces and /trace.
+	Traces *trace.Recorder
+	// Progress backs /progress: called per request, must be safe to call
+	// concurrently with the workload, and its result must JSON-marshal.
+	Progress func() any
+}
+
+// Handler builds the debug mux. Exposed separately from Start so tests can
+// drive it with httptest and binaries can mount it wherever they like.
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", o.index)
+	mux.HandleFunc("/metrics", o.metrics)
+	mux.HandleFunc("/traces", o.traces)
+	mux.HandleFunc("/trace", o.traceByID)
+	mux.HandleFunc("/progress", o.progress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr and serves the debug mux in a background
+// goroutine. Returns once the listener is bound, so Addr is immediately
+// valid (addr may use port 0).
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserv: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(o)}}
+	//lintx:ignore goroleak Serve returns when Server.Close closes the listener
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (o Options) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("debug server\n\n")
+	b.WriteString("/metrics            metric registry (?format=json)\n")
+	b.WriteString("/traces             recent+pinned traces (?url= &op= &err= &pinned=1 &limit= &format=text|json|chrome|summary)\n")
+	b.WriteString("/trace?id=<hex>     one trace by ID\n")
+	b.WriteString("/progress           live workload progress (JSON)\n")
+	b.WriteString("/debug/pprof/       runtime profiles\n")
+	if o.Traces != nil {
+		counts := o.Traces.Snapshot().ErrClassCounts()
+		if len(counts) > 0 {
+			b.WriteString("\nerror classes:\n")
+			for _, c := range trace.SortedErrClasses(counts) {
+				fmt.Fprintf(&b, "  %-20s %d\n", c, counts[c])
+			}
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func (o Options) metrics(w http.ResponseWriter, r *http.Request) {
+	if o.Registry == nil {
+		http.Error(w, "metrics off: no registry attached", http.StatusNotFound)
+		return
+	}
+	snap := o.Registry.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSONBlob(w, func() ([]byte, error) { return snap.JSON() })
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(snap.Text()))
+}
+
+// parseFilter maps /traces query parameters onto a trace.Filter.
+func parseFilter(r *http.Request) trace.Filter {
+	q := r.URL.Query()
+	f := trace.Filter{
+		Key:      q.Get("url"),
+		Op:       q.Get("op"),
+		ErrClass: q.Get("err"),
+	}
+	if f.Key == "" {
+		f.Key = q.Get("key")
+	}
+	if v := q.Get("pinned"); v == "1" || v == "true" {
+		f.PinnedOnly = true
+	}
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
+		f.Limit = n
+	}
+	return f
+}
+
+func (o Options) traces(w http.ResponseWriter, r *http.Request) {
+	if o.Traces == nil {
+		http.Error(w, "tracing off: no recorder attached", http.StatusNotFound)
+		return
+	}
+	s := o.Traces.Snapshot().Filter(parseFilter(r))
+	switch r.URL.Query().Get("format") {
+	case "json":
+		writeJSONBlob(w, s.JSON)
+	case "chrome":
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		writeJSONBlob(w, s.Chrome)
+	case "summary":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Summary()))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Text()))
+	}
+}
+
+func (o Options) traceByID(w http.ResponseWriter, r *http.Request) {
+	if o.Traces == nil {
+		http.Error(w, "tracing off: no recorder attached", http.StatusNotFound)
+		return
+	}
+	id, err := trace.ParseID(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s := o.Traces.Snapshot()
+	t := s.Find(id)
+	if t == nil {
+		http.Error(w, "trace not retained", http.StatusNotFound)
+		return
+	}
+	one := &trace.Snapshot{StartSeq: s.StartSeq, Traces: []*trace.Trace{t}}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSONBlob(w, one.JSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(one.Text()))
+}
+
+func (o Options) progress(w http.ResponseWriter, r *http.Request) {
+	if o.Progress == nil {
+		http.Error(w, "progress off: no source attached", http.StatusNotFound)
+		return
+	}
+	writeJSONBlob(w, func() ([]byte, error) {
+		return json.MarshalIndent(o.Progress(), "", "  ")
+	})
+}
+
+func writeJSONBlob(w http.ResponseWriter, render func() ([]byte, error)) {
+	blob, err := render()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(blob)
+	if len(blob) > 0 && blob[len(blob)-1] != '\n' {
+		_, _ = w.Write([]byte("\n"))
+	}
+}

@@ -67,6 +67,11 @@ func (g *Gauge) Max(n int64) {
 	}
 }
 
+// Clock supplies the current time for span timing. Registries default to
+// the wall clock; tests (and virtual-time harnesses) inject their own via
+// Registry.SetClock so span durations become deterministic.
+type Clock func() time.Time
+
 // Histogram counts observations into fixed buckets. Bucket i counts
 // observations v with bounds[i-1] < v <= bounds[i]; one extra overflow
 // bucket catches v > bounds[len-1] (rendered as +Inf).
@@ -75,6 +80,10 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// clock is inherited from the owning registry (atomic so SetClock can
+	// retarget live histograms without racing span starts); nil = wall.
+	clock atomic.Pointer[Clock]
 }
 
 // DefaultMsBuckets is the standard latency bucket layout (milliseconds),
@@ -122,11 +131,20 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// now reads the histogram's clock (the owning registry's, wall by default).
+func (h *Histogram) now() time.Time {
+	if c := h.clock.Load(); c != nil {
+		return (*c)()
+	}
+	return time.Now()
+}
+
 // Start begins a span into this histogram — the unnamed counterpart of
 // Registry.StartSpan for hot paths that already hold the histogram.
 // Spans are the only sanctioned wall-clock timer outside this package
-// (the lintx determinism analyzer enforces that).
-func (h *Histogram) Start() Span { return Span{h: h, start: time.Now()} }
+// (the lintx determinism analyzer enforces that), and they honor the
+// registry's injected Clock so virtual-time tests stay deterministic.
+func (h *Histogram) Start() Span { return Span{h: h, start: h.now()} }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -142,12 +160,14 @@ type Span struct {
 	start time.Time
 }
 
-// End records the elapsed wall time (milliseconds) and returns it.
+// End records the elapsed time (milliseconds) on the histogram's clock and
+// returns it.
 func (s Span) End() time.Duration {
-	d := time.Since(s.start)
-	if s.h != nil {
-		s.h.ObserveDuration(d)
+	if s.h == nil {
+		return time.Since(s.start)
 	}
+	d := s.h.now().Sub(s.start)
+	s.h.ObserveDuration(d)
 	return d
 }
 
@@ -160,6 +180,23 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	clock    *Clock // nil = wall clock; inherited by histograms at creation
+}
+
+// SetClock makes every span started from this registry (including existing
+// histograms' Start) read the given clock instead of the wall clock. A nil
+// clock restores wall time. Safe to call while spans are being started.
+func (r *Registry) SetClock(c Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var p *Clock
+	if c != nil {
+		p = &c
+	}
+	r.clock = p
+	for _, h := range r.hists {
+		h.clock.Store(p)
+	}
 }
 
 // New returns an empty registry.
@@ -219,12 +256,14 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	h, ok := r.hists[name]
 	if !ok {
 		h = newHistogram(bounds)
+		h.clock.Store(r.clock)
 		r.hists[name] = h
 	}
 	return h
 }
 
-// StartSpan starts timing into histogram <name>.ms.
+// StartSpan starts timing into histogram <name>.ms on the registry clock.
 func (r *Registry) StartSpan(name string) Span {
-	return Span{h: r.Histogram(name + ".ms"), start: time.Now()}
+	h := r.Histogram(name + ".ms")
+	return Span{h: h, start: h.now()}
 }

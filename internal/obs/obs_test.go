@@ -357,3 +357,51 @@ func TestRegistryLoadDegradedHistogram(t *testing.T) {
 		t.Fatalf("degraded load: %+v ok=%v", h, ok)
 	}
 }
+
+// TestSetClock: span timing follows an injected clock — including spans on
+// histograms created before SetClock — and nil restores wall time.
+func TestSetClock(t *testing.T) {
+	r := New()
+	pre := r.Histogram("pre.ms") // created before the clock swap
+
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+
+	s := r.StartSpan("op")
+	now = now.Add(250 * time.Millisecond)
+	if d := s.End(); d != 250*time.Millisecond {
+		t.Fatalf("injected clock span = %v, want 250ms", d)
+	}
+
+	ps := pre.Start()
+	now = now.Add(40 * time.Millisecond)
+	if d := ps.End(); d != 40*time.Millisecond {
+		t.Fatalf("pre-existing histogram span = %v, want 40ms", d)
+	}
+
+	snap := r.Snapshot()
+	if h, ok := snap.Hist("op.ms"); !ok || h.Count != 1 || h.Sum != 250 {
+		t.Fatalf("op.ms snapshot: %+v ok=%v", h, ok)
+	}
+
+	// Two same-script registries render identically under injected clocks.
+	script := func() string {
+		reg := New()
+		at := time.Unix(0, 0)
+		reg.SetClock(func() time.Time { return at })
+		sp := reg.StartSpan("det")
+		at = at.Add(7 * time.Millisecond)
+		sp.End()
+		return reg.Snapshot().Text()
+	}
+	if a, b := script(), script(); a != b {
+		t.Fatalf("injected-clock spans not deterministic:\n%s\nvs\n%s", a, b)
+	}
+
+	// Restore wall clock: spans stop following the fake.
+	r.SetClock(nil)
+	ws := r.StartSpan("wall")
+	if d := ws.End(); d < 0 || d > 10*time.Second {
+		t.Fatalf("wall-clock span looks wrong: %v", d)
+	}
+}

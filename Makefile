@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 trace-golden verify
+.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 trace-golden log-golden doctor-golden verify
 
 build:
 	$(GO) build ./...
@@ -61,10 +61,30 @@ bench-pr4:
 	  $(GO) test -run=NONE -bench 'Execute' -benchtime 200x ./internal/dataflow/ ) | tee /tmp/bench_pr4.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr4.out > BENCH_PR4.json
 
+# Regenerate the committed logging-overhead baseline (BENCH_PR5.json):
+# the resilience benchmarks re-measured (the logging-off regression gate,
+# see bench_pr5_test.go) plus the log-on/off and trace-on/off pairs.
+bench-pr5:
+	( $(GO) test -run=NONE -bench 'Crawl' -benchtime 5x ./internal/crawler/ ; \
+	  $(GO) test -run=NONE -bench 'Execute' -benchtime 200x ./internal/dataflow/ ) | tee /tmp/bench_pr5.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr5.out > BENCH_PR5.json
+
 # Golden-test the deterministic trace exports (text/JSON/Chrome byte
 # identity per seed) plus the lintx tracename fixture.
 trace-golden:
 	$(GO) test -run 'Golden|Deterministic|Identical|ByteIdentical' \
 		./internal/obs/trace/ ./internal/crawler/ ./internal/dataflow/ ./internal/analysis/checks/
 
-verify: build test vet lint race chaos trace-golden
+# Golden-test the deterministic event-log exports: cross-DoP and
+# checkpoint/resume byte identity, concurrent-emission determinism, and
+# the lintx logcall fixture.
+log-golden:
+	$(GO) test -run 'Golden/logcall|Deterministic|Identical|ByteIdentical|SnapshotLoadResume' \
+		./internal/obs/evlog/ ./internal/crawler/ ./internal/dataflow/ ./internal/analysis/checks/
+
+# Golden-test the crawl doctor: rule firing/ranking/filtering plus the
+# /logs and /doctor endpoints.
+doctor-golden:
+	$(GO) test ./internal/obs/doctor/ ./internal/obs/debugserv/ ./internal/obs/cliobs/
+
+verify: build test vet lint race chaos trace-golden log-golden doctor-golden

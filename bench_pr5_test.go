@@ -1,0 +1,63 @@
+package webtextie
+
+// Gate over the committed logging-overhead baseline (BENCH_PR5.json,
+// regenerated with `make bench-pr5`). The file re-measures the resilience
+// benchmarks alongside the new log-on/off pairs in one session, so the
+// logging-off cost is judged against an unlogged twin measured under
+// identical load — absolute comparisons against the PR4-era file would
+// gate on machine drift, not on code.
+
+import "testing"
+
+// TestBenchPR5LoggingOverheadGate enforces the event-log cost contract on
+// the committed numbers: with no sink attached the crawl and the executor
+// must stay within 2% of their unlogged twins (every call site on the
+// logging-off path is one nil comparison), and the logged runs must be
+// present so the real overhead stays visible in review.
+func TestBenchPR5LoggingOverheadGate(t *testing.T) {
+	pr5 := loadBenchFile(t, "BENCH_PR5.json")
+	if len(pr5) == 0 {
+		t.Fatal("BENCH_PR5.json holds no benchmarks")
+	}
+	pairs := []struct{ off, base string }{
+		{"BenchmarkCrawlChaosLogOff", "BenchmarkCrawlChaosResilient"},
+		{"BenchmarkExecuteLogOff", "BenchmarkExecuteQuarantineFaultFree"},
+	}
+	for _, p := range pairs {
+		off, base := pr5[p.off], pr5[p.base]
+		if off == 0 || base == 0 {
+			t.Fatalf("BENCH_PR5.json is missing %s or %s", p.off, p.base)
+		}
+		if ratio := off / base; ratio > 1.02 {
+			t.Errorf("%s is %.1f%% slower than %s; logging-off must cost <=2%%",
+				p.off, 100*(ratio-1), p.base)
+		}
+	}
+	for _, want := range []string{"BenchmarkCrawlChaosLogOn", "BenchmarkExecuteLogOn"} {
+		if pr5[want] == 0 {
+			t.Errorf("BENCH_PR5.json is missing %s (the measured logging-on cost)", want)
+		}
+	}
+}
+
+// TestBenchPR5CoversPR4 keeps the baseline lineage intact: every PR4
+// benchmark is re-measured in BENCH_PR5.json, and no re-measurement moved
+// by more than 2x in either direction (machine drift between sessions is
+// expected; an order-of-magnitude jump means a broken benchmark, not a
+// slower machine).
+func TestBenchPR5CoversPR4(t *testing.T) {
+	pr4 := loadBenchFile(t, "BENCH_PR4.json")
+	pr5 := loadBenchFile(t, "BENCH_PR5.json")
+	for name, old := range pr4 {
+		now := pr5[name]
+		if now == 0 {
+			t.Errorf("BENCH_PR5.json dropped %s (present in BENCH_PR4.json)", name)
+			continue
+		}
+		if ratio := now / old; ratio > 2 || ratio < 0.5 {
+			t.Errorf("%s moved %.2fx between PR4 and PR5 baselines (%s -> %s); "+
+				"re-measure with `make bench-pr5`", name, ratio,
+				fmtNs(old), fmtNs(now))
+		}
+	}
+}

@@ -5,26 +5,26 @@
 //
 //	analyze [-corpus relevant|irrelevant|medline|pmc] [-dop N] [-quick] [-metrics]
 //	        [-error-policy quarantine|failfast] [-op-retries N]
-//	        [-trace] [-trace-out FILE] [-trace-chrome FILE] [-debug-addr HOST:PORT]
+//	        [-trace] [-trace-out FILE] [-trace-chrome FILE]
+//	        [-log] [-log-out FILE] [-doctor] [-debug-addr HOST:PORT]
 //
 // -trace attaches the per-record lineage recorder to the executor (every
-// quarantined record pins its full operator lineage); -debug-addr serves
-// /metrics, /traces, /progress and /debug/pprof live while the analysis
-// runs.
+// quarantined record pins its full operator lineage); -log attaches the
+// deterministic structured event log and -doctor prints the cross-pillar
+// diagnosis at exit. -debug-addr serves /metrics, /traces, /logs,
+// /doctor, /progress and /debug/pprof live while the analysis runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 	"sync/atomic"
 
 	"webtextie"
 	"webtextie/internal/obs"
-	"webtextie/internal/obs/debugserv"
-	"webtextie/internal/obs/trace"
+	"webtextie/internal/obs/cliobs"
 	"webtextie/internal/textgen"
 )
 
@@ -37,10 +37,7 @@ func main() {
 	policy := flag.String("error-policy", "quarantine",
 		"executor response to operator failures: quarantine (count, dead-letter, continue) or failfast (abort the run)")
 	opRetries := flag.Int("op-retries", 0, "per-record operator retry budget before a failure is terminal")
-	traceOn := flag.Bool("trace", false, "attach the deterministic record-lineage trace recorder to the executor")
-	traceOut := flag.String("trace-out", "", "write the end-of-run trace export (text) to FILE (implies -trace)")
-	traceChrome := flag.String("trace-chrome", "", "write the end-of-run trace export (Chrome trace_event JSON, for Perfetto) to FILE (implies -trace)")
-	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /progress /debug/pprof) on HOST:PORT (implies -trace)")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
 	var kind webtextie.CorpusKind
@@ -71,25 +68,19 @@ func main() {
 	}
 	cfg.ExecOpRetries = *opRetries
 
-	var rec *trace.Recorder
-	if *traceOn || *traceOut != "" || *traceChrome != "" || *debugAddr != "" {
-		rec = trace.NewRecorder(trace.DefaultConfig(cfg.Corpora.Seed))
-		cfg.ExecTrace = rec
-	}
+	obsSetup := obsFlags.Setup(cfg.Corpora.Seed)
+	cfg.ExecTrace = obsSetup.Traces
+	cfg.ExecLog = obsSetup.Logs
 	var phase atomic.Value
 	phase.Store("building system")
-	if *debugAddr != "" {
-		srv, err := debugserv.Start(*debugAddr, debugserv.Options{
-			Registry: obs.Default(),
-			Traces:   rec,
-			Progress: func() any {
-				return map[string]any{"phase": phase.Load(), "corpus": *corpusName, "dop": *dop}
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+	addr, err := obsSetup.Serve(func() any {
+		return map[string]any{"phase": phase.Load(), "corpus": *corpusName, "dop": *dop}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addr != "" {
+		fmt.Printf("debug server listening on http://%s/\n", addr)
 	}
 
 	fmt.Println("building system (corpora, crawl, tagger training)...")
@@ -102,7 +93,6 @@ func main() {
 		kind, c.NumDocs(), c.RawBytes(), *dop)
 
 	var a *webtextie.CorpusAnalysis
-	var err error
 	if *out != "" {
 		var facts int64
 		a, facts, err = sys.ExportFacts(reg, c, *dop, *out, 32<<20)
@@ -129,30 +119,13 @@ func main() {
 		a.TLARemoved, len(a.RawMLGeneNames))
 	phase.Store("done")
 
-	if rec != nil {
-		s := rec.Snapshot()
-		counts := s.ErrClassCounts()
-		fmt.Printf("\ntraces: %d retained", len(s.Traces))
-		for _, cl := range trace.SortedErrClasses(counts) {
-			fmt.Printf(", %s=%d", cl, counts[cl])
-		}
+	summary, err := obsSetup.Finish()
+	if summary != "" {
 		fmt.Println()
-		if *traceOut != "" {
-			if err := os.WriteFile(*traceOut, []byte(s.Text()), 0o644); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("trace export (text) written to %s\n", *traceOut)
-		}
-		if *traceChrome != "" {
-			blob, err := s.Chrome()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := os.WriteFile(*traceChrome, blob, 0o644); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("trace export (Perfetto) written to %s\n", *traceChrome)
-		}
+		fmt.Print(summary)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *metrics {

@@ -7,17 +7,20 @@
 //	      [-failure-rate P] [-dead-hosts P] [-slow-hosts P] [-ratelimit-hosts P] [-truncate-rate P]
 //	      [-max-retries N] [-breaker-failures N] [-breaker-open-ms N]
 //	      [-checkpoint FILE -checkpoint-cycles N] [-resume FILE]
-//	      [-trace] [-trace-out FILE] [-trace-chrome FILE] [-debug-addr HOST:PORT]
+//	      [-trace] [-trace-out FILE] [-trace-chrome FILE]
+//	      [-log] [-log-out FILE] [-doctor] [-debug-addr HOST:PORT]
 //
 // -trace attaches the deterministic lineage recorder; -trace-out /
 // -trace-chrome write its end-of-run export (text, or Perfetto-loadable
-// trace_event JSON). -debug-addr serves /metrics, /traces, /progress and
-// /debug/pprof live while the crawl runs.
+// trace_event JSON). -log attaches the deterministic structured event log
+// (-log-out writes its logfmt export) and -doctor prints the cross-pillar
+// diagnosis at exit. -debug-addr serves /metrics, /traces, /logs, /doctor,
+// /progress and /debug/pprof live while the crawl runs.
 //
 // Fault injection is deterministic in the seed: the same flags reproduce
 // the same failures, retries, and breaker trips. A crawl interrupted with
 // -checkpoint and continued with -resume prints the same final statistics
-// as an uninterrupted run.
+// — and the same event-log export — as an uninterrupted run.
 package main
 
 import (
@@ -30,8 +33,7 @@ import (
 	"webtextie/internal/crawler"
 	"webtextie/internal/graph"
 	"webtextie/internal/obs"
-	"webtextie/internal/obs/debugserv"
-	"webtextie/internal/obs/trace"
+	"webtextie/internal/obs/cliobs"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
 	"webtextie/internal/synthweb"
@@ -60,10 +62,7 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "write a checkpoint to FILE after -checkpoint-cycles cycles and exit")
 	ckptCycles := flag.Int("checkpoint-cycles", 5, "cycles to run before writing the -checkpoint file")
 	resumeFile := flag.String("resume", "", "resume the crawl from a checkpoint FILE (same seed/flags as the original run)")
-	traceOn := flag.Bool("trace", false, "attach the deterministic document-lineage trace recorder")
-	traceOut := flag.String("trace-out", "", "write the end-of-run trace export (text) to FILE (implies -trace)")
-	traceChrome := flag.String("trace-chrome", "", "write the end-of-run trace export (Chrome trace_event JSON, for Perfetto) to FILE (implies -trace)")
-	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /progress /debug/pprof) on HOST:PORT (implies -trace)")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
 	lex := textgen.NewLexicon(rng.New(*seed), textgen.DefaultLexiconSizes(), 0.75)
@@ -84,7 +83,8 @@ func main() {
 	clf.Threshold = *threshold
 
 	catalog := seeds.BuildCatalog(*seed+3, lex, seeds.ScaledSizes(seeds.PaperSizes(), *termScale))
-	run := seeds.Generate(seeds.DefaultEngines(*seed+4, web), catalog)
+	obsSetup := obsFlags.Setup(*seed)
+	run := seeds.GenerateLogged(seeds.DefaultEngines(*seed+4, web), catalog, obsSetup.Logs)
 	fmt.Printf("seed generation: %d terms -> %d queries -> %d seed URLs\n",
 		catalog.Total(), run.QueriesIssued, len(run.SeedURLs))
 
@@ -95,24 +95,34 @@ func main() {
 	cfg.BreakerFailures = *breakerFails
 	cfg.BreakerOpenMs = *breakerOpenMs
 
-	var rec *trace.Recorder
-	if *traceOn || *traceOut != "" || *traceChrome != "" || *debugAddr != "" {
-		rec = trace.NewRecorder(trace.DefaultConfig(*seed))
-	}
-	// serve starts the live debug endpoints around a constructed crawler.
-	serve := func(c *crawler.Crawler) {
-		if *debugAddr == "" {
-			return
+	// wire attaches every flagged observability surface to a constructed
+	// crawler and starts the live debug server around it.
+	wire := func(c *crawler.Crawler) {
+		c.WithMetrics(obs.Default())
+		if obsSetup.Traces != nil {
+			c.WithTrace(obsSetup.Traces)
 		}
-		srv, err := debugserv.Start(*debugAddr, debugserv.Options{
-			Registry: obs.Default(),
-			Traces:   rec,
-			Progress: func() any { return c.LiveStats() },
-		})
+		if obsSetup.Logs != nil {
+			c.WithLog(obsSetup.Logs)
+		}
+		addr, err := obsSetup.Serve(func() any { return c.LiveStats() })
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+		if addr != "" {
+			fmt.Printf("debug server listening on http://%s/\n", addr)
+		}
+	}
+	// finish prints the observability end-of-run summary and exports.
+	finish := func() {
+		summary, err := obsSetup.Finish()
+		if summary != "" {
+			fmt.Println()
+			fmt.Print(summary)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var res *crawler.Result
@@ -130,22 +140,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		c.WithMetrics(obs.Default())
-		if rec != nil {
-			c.WithTrace(rec)
-		}
-		serve(c)
+		wire(c)
 		fmt.Printf("resumed from %s at cycle %d (%d pages fetched)\n",
 			*resumeFile, cp.Stats.Cycles, cp.Stats.Fetched)
 		for c.Step() {
 		}
 		res = c.Finish()
 	case *ckptFile != "":
-		c := crawler.New(cfg, web, clf).WithMetrics(obs.Default())
-		if rec != nil {
-			c.WithTrace(rec)
-		}
-		serve(c)
+		c := crawler.New(cfg, web, clf)
+		wire(c)
 		c.Seed(run.SeedURLs)
 		for i := 0; i < *ckptCycles && c.Step(); i++ {
 		}
@@ -160,14 +163,11 @@ func main() {
 		fmt.Printf("checkpoint after %d cycles (%d pages) written to %s (%d bytes)\n",
 			cp.Stats.Cycles, cp.Stats.Fetched, *ckptFile, len(data))
 		fmt.Printf("continue with: crawl -resume %s (plus the same seed/fault/resilience flags)\n", *ckptFile)
-		writeTraces(rec, *traceOut, *traceChrome)
+		finish()
 		return
 	default:
-		c := crawler.New(cfg, web, clf).WithMetrics(obs.Default())
-		if rec != nil {
-			c.WithTrace(rec)
-		}
-		serve(c)
+		c := crawler.New(cfg, web, clf)
+		wire(c)
 		res = c.Run(run.SeedURLs)
 	}
 	st := res.Stats
@@ -200,43 +200,10 @@ func main() {
 		fmt.Printf("  %-30s %.5f\n", h.Host, h.Rank)
 	}
 
-	if rec != nil {
-		s := rec.Snapshot()
-		counts := s.ErrClassCounts()
-		fmt.Printf("\ntraces: %d retained", len(s.Traces))
-		for _, cl := range trace.SortedErrClasses(counts) {
-			fmt.Printf(", %s=%d", cl, counts[cl])
-		}
-		fmt.Println()
-	}
-	writeTraces(rec, *traceOut, *traceChrome)
+	finish()
 
 	if *metrics {
 		fmt.Println("\nmetric registry (obs)")
 		fmt.Print(obs.Default().Snapshot().Text())
-	}
-}
-
-// writeTraces exports the recorder's final snapshot to the requested files.
-func writeTraces(rec *trace.Recorder, textPath, chromePath string) {
-	if rec == nil {
-		return
-	}
-	s := rec.Snapshot()
-	if textPath != "" {
-		if err := os.WriteFile(textPath, []byte(s.Text()), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("trace export (text) written to %s\n", textPath)
-	}
-	if chromePath != "" {
-		blob, err := s.Chrome()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(chromePath, blob, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("trace export (Perfetto) written to %s\n", chromePath)
 	}
 }

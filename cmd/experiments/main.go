@@ -5,7 +5,9 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-scale N] [-metrics]
-//	            [-trace] [-debug-addr HOST:PORT] [experiment ...]
+//	            [-trace] [-trace-out FILE] [-trace-chrome FILE]
+//	            [-log] [-log-out FILE] [-doctor] [-debug-addr HOST:PORT]
+//	            [experiment ...]
 //
 // Experiments: table1 seeds crawl classifier boilerplate table2 table3
 // fig3 fig4 fig5 warstory fig6 pronouns table4 fig7 fig8 jsd all
@@ -15,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"sync/atomic"
@@ -22,8 +25,7 @@ import (
 
 	"webtextie"
 	"webtextie/internal/obs"
-	"webtextie/internal/obs/debugserv"
-	"webtextie/internal/obs/trace"
+	"webtextie/internal/obs/cliobs"
 )
 
 func main() {
@@ -31,8 +33,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the generation seed (0 = default)")
 	scale := flag.Int("scale", 0, "override the corpus scale factor (0 = default)")
 	metrics := flag.Bool("metrics", false, "dump the obs metric registry at exit")
-	traceOn := flag.Bool("trace", false, "attach the record-lineage trace recorder to every dataflow execution")
-	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /progress /debug/pprof) on HOST:PORT (implies -trace)")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := webtextie.DefaultConfig()
@@ -46,24 +47,19 @@ func main() {
 		cfg.Corpora.ScaleFactor = *scale
 	}
 
-	var rec *trace.Recorder
-	if *traceOn || *debugAddr != "" {
-		rec = trace.NewRecorder(trace.DefaultConfig(cfg.Corpora.Seed))
-		cfg.ExecTrace = rec
-	}
+	obsSetup := obsFlags.Setup(cfg.Corpora.Seed)
+	cfg.ExecTrace = obsSetup.Traces
+	cfg.ExecLog = obsSetup.Logs
 	var current atomic.Value
 	current.Store("starting")
-	if *debugAddr != "" {
-		srv, err := debugserv.Start(*debugAddr, debugserv.Options{
-			Registry: obs.Default(),
-			Traces:   rec,
-			Progress: func() any { return map[string]any{"experiment": current.Load()} },
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("debug server listening on http://%s/\n", srv.Addr())
+	addr, err := obsSetup.Serve(func() any {
+		return map[string]any{"experiment": current.Load()}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addr != "" {
+		fmt.Printf("debug server listening on http://%s/\n", addr)
 	}
 
 	exp := webtextie.NewExperiments(cfg)
@@ -118,14 +114,12 @@ func main() {
 	}
 	current.Store("done")
 
-	if rec != nil {
-		s := rec.Snapshot()
-		counts := s.ErrClassCounts()
-		fmt.Printf("traces: %d retained", len(s.Traces))
-		for _, cl := range trace.SortedErrClasses(counts) {
-			fmt.Printf(", %s=%d", cl, counts[cl])
-		}
-		fmt.Println()
+	summary, err := obsSetup.Finish()
+	if summary != "" {
+		fmt.Print(summary)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *metrics {

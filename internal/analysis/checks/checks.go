@@ -13,6 +13,9 @@
 //	             grammar; attr keys are constant lower_snake identifiers
 //	sleepcall    no blocking time primitives in crawler/dataflow paths
 //	             (backoff runs on the virtual clock, not time.Sleep)
+//	logcall      no fmt/log printing outside package main (library code
+//	             reports via evlog); evlog msg/component names are
+//	             constants in the dotted-name grammar
 //
 // The analyzers are deliberately narrow: they encode this repo's
 // conventions, not general Go style. Suppress a finding with
@@ -38,6 +41,7 @@ func All() []*analysis.Analyzer {
 		MetricName,
 		TraceName,
 		SleepCall,
+		LogCall,
 	}
 }
 

@@ -1,0 +1,65 @@
+// Package logcall exercises the logcall analyzer: ad-hoc printing in
+// library code and non-constant or grammar-violating evlog names are
+// flagged; evlog emission, buffer writes, and suppressed cases are not.
+package logcall
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+)
+
+// Good reports through evlog with constant dotted names — not flagged.
+func Good(sink *evlog.Sink) {
+	lg := sink.Logger("fixture.engine")
+	lg.Info("fixture.start", 0, trace.Int("items", 3))
+	lg.Warn("fixture.degraded", 1, trace.String("cause", "timeout"))
+}
+
+// GoodBuffer renders into a builder for the cmd to print — not flagged
+// (fmt.Fprintf to a non-stream writer is fine).
+func GoodBuffer() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary: %d items\n", 3)
+	return b.String()
+}
+
+// BadPrintf prints straight to stdout from library code — flagged.
+func BadPrintf(n int) {
+	fmt.Printf("processed %d items\n", n)
+}
+
+// BadFprintStderr aims Fprintln at os.Stderr — flagged.
+func BadFprintStderr(err error) {
+	fmt.Fprintln(os.Stderr, "warning:", err)
+}
+
+// BadStdLog uses the std log package — flagged.
+func BadStdLog(err error) {
+	log.Printf("fixture failed: %v", err)
+}
+
+// BadMsgGrammar uses an undotted upper-case message — flagged.
+func BadMsgGrammar(lg evlog.Logger) {
+	lg.Info("FixtureDone", 2)
+}
+
+// BadDynamicMsg interpolates data into the message — flagged.
+func BadDynamicMsg(lg evlog.Logger, verdict string) {
+	lg.Debug("fixture."+verdict, 3)
+}
+
+// BadComponent computes the component name — flagged.
+func BadComponent(sink *evlog.Sink, shard string) {
+	sink.Logger("fixture."+shard).Info("fixture.shard", 4)
+}
+
+// Legacy is suppressed: the progress print predates the event log.
+func Legacy(n int) {
+	//lintx:ignore logcall progress print predates the event log; migrating next pass
+	fmt.Println("progress:", n)
+}

@@ -18,6 +18,7 @@ import (
 	"webtextie/internal/ie/crf"
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/nlp/postag"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/textgen"
@@ -76,6 +77,10 @@ type Config struct {
 	// ExecTrace, when set, records per-record lineage traces for every
 	// dataflow execution the system runs (keyed by the record's "id").
 	ExecTrace *trace.Recorder
+	// ExecLog, when set, receives the event log of every dataflow
+	// execution the system runs, and (unless Corpora.Log is already set)
+	// of corpus construction too — the third observability pillar.
+	ExecLog *evlog.Sink
 }
 
 // DefaultConfig returns the standard full-scale (1:10,000) setup.
@@ -118,6 +123,9 @@ type System struct {
 // NewSystem builds corpora and trains every component. Construction is
 // deterministic in the config seed.
 func NewSystem(cfg Config) *System {
+	if cfg.Corpora.Log == nil {
+		cfg.Corpora.Log = cfg.ExecLog
+	}
 	set := corpora.Build(cfg.Corpora)
 	s := &System{
 		Cfg:          cfg,

@@ -63,15 +63,25 @@ func (e *Experiments) SeedsExperiment() string {
 	large := seeds.BuildCatalog(cfg.Seed+3, s.Set.Lexicon,
 		seeds.ScaledSizes(seeds.PaperSizes(), scale))
 
-	runSmall := seeds.Generate(seeds.DefaultEngines(cfg.Seed+4, s.Set.Web), small)
-	runLarge := seeds.Generate(seeds.DefaultEngines(cfg.Seed+4, s.Set.Web), large)
+	// Both runs report into the system's event-log sink (no-op when -log
+	// is off): the first crawl's frontier.exhausted records are the §2.2
+	// story told by the third pillar.
+	runSmall := seeds.GenerateLogged(seeds.DefaultEngines(cfg.Seed+4, s.Set.Web), small, s.Cfg.ExecLog)
+	runLarge := seeds.GenerateLogged(seeds.DefaultEngines(cfg.Seed+4, s.Set.Web), large, s.Cfg.ExecLog)
 
 	crawlCfg := cfg.Crawl
 	crawlCfg.MaxPages = 0 // run to exhaustion
 	crawlCfg.MaxPagesPerHost = 60
 	clf := s.Set.Classifier
-	resSmall := crawler.New(crawlCfg, s.Set.Web, clf).Run(runSmall.SeedURLs)
-	resLarge := crawler.New(crawlCfg, s.Set.Web, clf).Run(runLarge.SeedURLs)
+	crawlWith := func(seedURLs []string) *crawler.Result {
+		c := crawler.New(crawlCfg, s.Set.Web, clf)
+		if s.Cfg.ExecLog != nil {
+			c.WithLog(s.Cfg.ExecLog)
+		}
+		return c.Run(seedURLs)
+	}
+	resSmall := crawlWith(runSmall.SeedURLs)
+	resLarge := crawlWith(runLarge.SeedURLs)
 
 	var r report
 	r.title("§2.2 — seed-list size gates crawl size")

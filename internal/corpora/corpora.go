@@ -21,6 +21,7 @@ import (
 	"webtextie/internal/classify"
 	"webtextie/internal/crawler"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
 	"webtextie/internal/synthweb"
@@ -121,6 +122,9 @@ type BuildConfig struct {
 	DictCoverage float64
 	// TrainDocsPerClass sizes the crawler classifier's training set.
 	TrainDocsPerClass int
+	// Log, when set, receives the event log of corpus construction: the
+	// seed-generation run and the focused crawl both report into it.
+	Log *evlog.Sink
 }
 
 // DefaultBuildConfig returns the standard 1:10,000 setup.
@@ -200,11 +204,14 @@ func Build(cfg BuildConfig) *Set {
 	// Seed generation (§2.2, full catalogue).
 	catalog := seeds.BuildCatalog(cfg.Seed+3, lex,
 		seeds.ScaledSizes(seeds.PaperSizes(), cfg.SeedTermScale))
-	run := seeds.Generate(seeds.DefaultEngines(cfg.Seed+4, web), catalog)
+	run := seeds.GenerateLogged(seeds.DefaultEngines(cfg.Seed+4, web), catalog, cfg.Log)
 
 	// Focused crawl, reporting into the process metric registry (the
 	// cmds' -metrics flag dumps it at exit).
 	cr := crawler.New(cfg.Crawl, web, clf).WithMetrics(obs.Default())
+	if cfg.Log != nil {
+		cr.WithLog(cfg.Log)
+	}
 	crawlRes := cr.Run(run.SeedURLs)
 
 	set := &Set{

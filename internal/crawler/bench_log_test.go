@@ -1,0 +1,32 @@
+package crawler
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/evlog"
+)
+
+// Structured logging touches the same hot paths tracing does (frontier
+// insertion, fetch outcomes, filter verdicts) plus the error paths. The
+// pair below prices it under chaos; BENCH_PR5.json commits both, and the
+// logging-off numbers double as the no-regression gate (bench_pr5_test.go)
+// — with no sink attached every call site is one nil comparison.
+
+func benchChaosCrawlLog(b *testing.B, logged bool) {
+	p := chaosPipeline(b, 80, nil)
+	seedList := defaultSeeds(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MaxPages = 500
+		c := New(cfg, p.web, p.clf)
+		if logged {
+			c.WithLog(evlog.NewSink(evlog.DefaultConfig(1)))
+		}
+		_ = c.Run(seedList)
+	}
+}
+
+func BenchmarkCrawlChaosLogOff(b *testing.B) { benchChaosCrawlLog(b, false) }
+
+func BenchmarkCrawlChaosLogOn(b *testing.B) { benchChaosCrawlLog(b, true) }

@@ -15,6 +15,7 @@ import (
 	"webtextie/internal/classify"
 	"webtextie/internal/crawldb"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 )
@@ -41,6 +42,11 @@ type Checkpoint struct {
 	// annotations, and keeping them would make a resumed run's trace export
 	// differ from an uninterrupted run's.
 	Traces *trace.Snapshot `json:"traces,omitempty"`
+	// Logs continues the event-log sink across the restart (nil when the
+	// crawl ran without logging). Snapshotted before the checkpoint.saved
+	// record is emitted, so a resumed run's log export matches an
+	// uninterrupted run's byte for byte.
+	Logs *evlog.Snapshot `json:"logs,omitempty"`
 }
 
 // Checkpoint freezes the crawler's state. Call it between Step calls
@@ -83,6 +89,13 @@ func (c *Crawler) Checkpoint() *Checkpoint {
 		snap := c.rec.Snapshot()
 		snap.Marks = nil
 		cp.Traces = snap
+	}
+	if c.logs != nil {
+		// Freeze the log stream first, then announce the boundary only to
+		// the live sink — the mirror of the Mark-stripping above.
+		cp.Logs = c.logs.Snapshot()
+		c.lg.checkpoint.Info("checkpoint.saved", c.nowMs(),
+			trace.Int("cycle", int64(c.stats.Cycles)))
 	}
 	return cp
 }
@@ -168,5 +181,7 @@ func Resume(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes, cp *Checkpo
 	c.m.reg.Load(snap)
 	// Tracing resumes lazily: WithTrace loads this into the new recorder.
 	c.resumeTraces = cp.Traces
+	// Logging resumes lazily too: WithLog loads this into the new sink.
+	c.resumeLogs = cp.Logs
 	return c, nil
 }

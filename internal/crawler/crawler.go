@@ -23,6 +23,7 @@ import (
 	"webtextie/internal/langid"
 	"webtextie/internal/mimetype"
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
@@ -200,6 +201,9 @@ type Result struct {
 	// per-cycle fetch counts, filter/classify counters, frontier gauges,
 	// politeness-stall and per-page cost histograms.
 	Metrics obs.Snapshot
+	// Logs is the crawl's event log frozen at the end of Run (nil when the
+	// crawl ran without a log sink).
+	Logs *evlog.Snapshot
 }
 
 // metrics bundles the crawler's obs instruments. Counters mirror the
@@ -216,6 +220,7 @@ type metrics struct {
 	entityBoosted, selfTrain              *obs.Counter
 	retrySched, retryExhausted            *obs.Counter
 	rateLimited, hostDown, truncated      *obs.Counter
+	frontierTrap                          *obs.Counter
 	breakerOpened, breakerHalfOpen        *obs.Counter
 	breakerClosed, breakerDeferred        *obs.Counter
 	idleAdvances                          *obs.Counter
@@ -248,6 +253,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		retrySched:         reg.Counter("crawler.retry.scheduled"),
 		retryExhausted:     reg.Counter("crawler.retry.exhausted"),
 		rateLimited:        reg.Counter("crawler.fetch.ratelimited"),
+		frontierTrap:       reg.Counter("crawler.frontier.trap"),
 		hostDown:           reg.Counter("crawler.fetch.hostdown"),
 		truncated:          reg.Counter("crawler.fetch.truncated"),
 		breakerOpened:      reg.Counter("crawler.breaker.opened"),
@@ -304,6 +310,12 @@ type Crawler struct {
 	rec *trace.Recorder
 	// resumeTraces remembers the checkpoint's trace snapshot for WithTrace.
 	resumeTraces *trace.Snapshot
+	// logs is the optional event-log sink (nil = logging off); lg holds the
+	// component loggers built from it (zero Loggers when logging is off).
+	logs *evlog.Sink
+	lg   crawlLogs
+	// resumeLogs remembers the checkpoint's log snapshot for WithLog.
+	resumeLogs *evlog.Snapshot
 	// live publishes a Stats copy after every cycle so debug-server
 	// goroutines can read crawl progress without racing the crawl loop.
 	live atomic.Pointer[Stats]
@@ -357,6 +369,46 @@ func (c *Crawler) WithTrace(rec *trace.Recorder) *Crawler {
 	return c
 }
 
+// crawlLogs bundles the crawler's component loggers. The zero value is
+// all no-op loggers — logging-off call sites cost one nil comparison.
+type crawlLogs struct {
+	frontier, fetch, filter, classify Logger
+	breaker, cycle, checkpoint        Logger
+	// crawl shares the cycle component but skips its rate limit so the
+	// terminal crawl.done record always lands.
+	crawl Logger
+}
+
+// Logger aliases evlog.Logger so crawlLogs stays readable.
+type Logger = evlog.Logger
+
+// WithLog points the crawler at an event-log sink: frontier, fetch,
+// filter, classify, breaker, and checkpoint decisions are logged in
+// virtual-clock time, hot paths sampled or rate-limited, every record
+// carrying its URL's trace ID when tracing is on. On a resumed crawler
+// the checkpoint's log snapshot is loaded first, so the sink continues
+// the original stream and budgets. Returns the crawler for chaining.
+func (c *Crawler) WithLog(sink *evlog.Sink) *Crawler {
+	c.logs = sink
+	if c.resumeLogs != nil {
+		sink.Load(c.resumeLogs)
+	}
+	c.lg = crawlLogs{
+		frontier:   sink.Logger("crawler.frontier"),
+		fetch:      sink.Logger("crawler.fetch"),
+		filter:     sink.Logger("crawler.filter"),
+		classify:   sink.Logger("crawler.classify"),
+		breaker:    sink.Logger("crawler.breaker"),
+		cycle:      sink.Logger("crawler.cycle").RateLimit(8, 1),
+		checkpoint: sink.Logger("crawler.checkpoint"),
+		crawl:      sink.Logger("crawler.cycle"),
+	}
+	return c
+}
+
+// LogSink returns the attached event-log sink (nil when logging is off).
+func (c *Crawler) LogSink() *evlog.Sink { return c.logs }
+
 // LiveStats returns the most recent published Stats copy (nil before the
 // first cycle). Safe to call concurrently with a running crawl — this is
 // the debug server's /progress source.
@@ -393,6 +445,11 @@ func (c *Crawler) inject(url string, depth int) {
 		return
 	}
 	if c.perHost[host] >= c.cfg.MaxPagesPerHost {
+		c.m.frontierTrap.Inc()
+		if c.lg.frontier.Enabled() {
+			c.lg.frontier.Sample(host, 4).Debug("frontier.trap", c.nowMs(),
+				trace.String("host", host))
+		}
 		return
 	}
 	rb, ok := c.web.Robots(host)
@@ -411,6 +468,10 @@ func (c *Crawler) inject(url string, depth int) {
 		if tc.Active() {
 			tc.Event("frontier.inject", c.nowMs(), trace.Int("depth", int64(depth)))
 			c.db.SetTrace(url, uint64(tc.Trace))
+		}
+		if c.lg.frontier.Enabled() {
+			c.lg.frontier.For(tc.Trace).Sample(url, 8).Debug("frontier.inject", c.nowMs(),
+				trace.String("url", url), trace.Int("depth", int64(depth)))
 		}
 	} else if d, ok := c.tunnelDepth[url]; ok && depth < d {
 		// A better (shallower) path to a known URL keeps the smaller depth.
@@ -461,6 +522,8 @@ func (c *Crawler) Step() bool {
 		next, ok := c.db.NextEligible()
 		if !ok {
 			c.stats.FrontierEmptied = true
+			c.lg.frontier.Warn("frontier.exhausted", c.nowMs(),
+				trace.Int("known", int64(c.db.Known())))
 			return false
 		}
 		// Everything pending is waiting out a backoff or breaker window:
@@ -474,6 +537,8 @@ func (c *Crawler) Step() bool {
 		list = c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
 		if len(list) == 0 {
 			c.stats.FrontierEmptied = true
+			c.lg.frontier.Warn("frontier.exhausted", c.nowMs(),
+				trace.Int("known", int64(c.db.Known())))
 			return false
 		}
 	}
@@ -482,6 +547,10 @@ func (c *Crawler) Step() bool {
 	before := c.stats.Fetched
 	c.fetchCycle(list)
 	c.m.cycleFetched.Observe(float64(c.stats.Fetched - before))
+	c.lg.cycle.Info("cycle.done", c.nowMs(),
+		trace.Int("cycle", int64(c.stats.Cycles)),
+		trace.Int("fetched", int64(c.stats.Fetched-before)),
+		trace.Int("pending", int64(c.db.Pending())))
 	s := c.stats
 	c.live.Store(&s)
 	return true
@@ -492,10 +561,17 @@ func (c *Crawler) Finish() *Result {
 	c.m.frontierPending.Set(int64(c.db.Pending()))
 	c.m.frontierKnown.Set(int64(c.db.Known()))
 	c.m.virtualMs.Set(c.stats.VirtualMs)
+	c.lg.crawl.Info("crawl.done", c.nowMs(),
+		trace.Int("fetched", int64(c.stats.Fetched)),
+		trace.Int("relevant", int64(c.stats.Relevant)),
+		trace.Int("cycles", int64(c.stats.Cycles)))
 	res := &Result{Stats: c.stats, LinkDB: c.ldb, CrawlDB: c.db}
 	res.Relevant = c.relevant
 	res.IrrelevantPages = c.irrelevant
 	res.Metrics = c.m.reg.Snapshot()
+	if c.logs != nil {
+		res.Logs = c.logs.Snapshot()
+	}
 	s := c.stats
 	c.live.Store(&s)
 	return res
@@ -581,6 +657,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	}
 	at.Event("fetch.ok", c.nowMs(), trace.Int("bytes", int64(len(page.Body))))
 	at.End(c.nowMs())
+	if c.lg.fetch.Enabled() {
+		c.lg.fetch.For(tc.Trace).Sample(item.URL, 8).Debug("fetch.ok", c.nowMs(),
+			trace.String("url", item.URL), trace.Int("bytes", int64(len(page.Body))))
+	}
 	c.breakerAlive(item.Host, tc)
 	c.stats.Fetched++
 	c.m.fetchOK.Inc()
@@ -593,6 +673,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.m.filterMIME.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		tc.Event("filter.mime", c.nowMs())
+		if c.lg.filter.Enabled() {
+			c.lg.filter.For(tc.Trace).Sample(item.URL, 4).Debug("filter.mime", c.nowMs(),
+				trace.String("url", item.URL))
+		}
 		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
@@ -607,6 +691,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		tc.Event("filter.length", c.nowMs(), trace.Int("net_text_len", int64(len(netText))))
+		if c.lg.filter.Enabled() {
+			c.lg.filter.For(tc.Trace).Sample(item.URL, 4).Debug("filter.length", c.nowMs(),
+				trace.String("url", item.URL), trace.Int("net_text_len", int64(len(netText))))
+		}
 		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
@@ -617,6 +705,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.m.filterLang.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		tc.Event("filter.lang", c.nowMs())
+		if c.lg.filter.Enabled() {
+			c.lg.filter.For(tc.Trace).Sample(item.URL, 4).Debug("filter.lang", c.nowMs(),
+				trace.String("url", item.URL))
+		}
 		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
@@ -626,6 +718,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
 		tc.Event("filter.length", c.nowMs(), trace.Int("net_text_len", int64(len(netText))))
+		if c.lg.filter.Enabled() {
+			c.lg.filter.For(tc.Trace).Sample(item.URL, 4).Debug("filter.length", c.nowMs(),
+				trace.String("url", item.URL), trace.Int("net_text_len", int64(len(netText))))
+		}
 		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
@@ -646,6 +742,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 			c.stats.EntityBoosted++
 			c.m.entityBoosted.Inc()
 			tc.Event("classify.entity.boost", c.nowMs())
+			if c.lg.classify.Enabled() {
+				c.lg.classify.For(tc.Trace).Sample(item.URL, 4).Debug("classify.entity.boost",
+					c.nowMs(), trace.String("url", item.URL))
+			}
 		}
 	}
 
@@ -679,6 +779,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.relevant = append(c.relevant, stored)
 		tc.Event("classify.verdict", c.nowMs(),
 			trace.String("verdict", "relevant"), trace.Float("prob", prob))
+		if c.lg.classify.Enabled() {
+			c.lg.classify.For(tc.Trace).Sample(item.URL, 4).Debug("classify.verdict", c.nowMs(),
+				trace.String("url", item.URL), trace.String("verdict", "relevant"))
+		}
 		c.finishTrace(tc, "relevant", c.nowMs())
 		for _, l := range page.Links {
 			c.inject(l, 0)
@@ -691,6 +795,10 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	c.irrelevant = append(c.irrelevant, stored)
 	tc.Event("classify.verdict", c.nowMs(),
 		trace.String("verdict", "irrelevant"), trace.Float("prob", prob))
+	if c.lg.classify.Enabled() {
+		c.lg.classify.For(tc.Trace).Sample(item.URL, 4).Debug("classify.verdict", c.nowMs(),
+			trace.String("url", item.URL), trace.String("verdict", "irrelevant"))
+	}
 	c.finishTrace(tc, "irrelevant", c.nowMs())
 	// Tunnelling: follow links from irrelevant pages up to depth n-1.
 	if depth+1 < c.cfg.Tunnelling {

@@ -93,6 +93,8 @@ func (c *Crawler) breakerRejects(item crawldb.FetchItem, tc trace.Context) bool 
 		c.m.breakerHalfOpen.Inc()
 		c.setOpenHostsGauge()
 		tc.Event("breaker.halfopen", c.nowMs(), trace.String("host", item.Host))
+		c.lg.breaker.For(tc.Trace).Info("breaker.halfopen", c.nowMs(),
+			trace.String("host", item.Host))
 		return false
 	}
 	c.db.Defer(item.URL, item.Host, br.openUntil)
@@ -100,6 +102,10 @@ func (c *Crawler) breakerRejects(item crawldb.FetchItem, tc trace.Context) bool 
 	c.m.breakerDeferred.Inc()
 	tc.Event("breaker.defer", c.nowMs(),
 		trace.String("host", item.Host), trace.Int("until_ms", br.openUntil))
+	if c.lg.breaker.Enabled() {
+		c.lg.breaker.For(tc.Trace).Sample(item.URL, 4).Debug("breaker.defer", c.nowMs(),
+			trace.String("host", item.Host), trace.Int("until_ms", br.openUntil))
+	}
 	return true
 }
 
@@ -120,6 +126,8 @@ func (c *Crawler) breakerAlive(host string, tc trace.Context) {
 		c.m.breakerClosed.Inc()
 		c.setOpenHostsGauge()
 		tc.Event("breaker.closed", c.nowMs(), trace.String("host", host))
+		c.lg.breaker.For(tc.Trace).Info("breaker.closed", c.nowMs(),
+			trace.String("host", host))
 	}
 }
 
@@ -152,6 +160,8 @@ func (c *Crawler) breakerCharge(host string, now int64, tc trace.Context) {
 		// Flight recorder: the URL whose failure tripped the breaker keeps
 		// its full lineage pinned past ring-buffer eviction.
 		tc.Error("breaker_open", now,
+			trace.String("host", host), trace.Int("until_ms", br.openUntil))
+		c.lg.breaker.For(tc.Trace).Warn("breaker.open", now,
 			trace.String("host", host), trace.Int("until_ms", br.openUntil))
 	}
 }
@@ -194,6 +204,8 @@ func (c *Crawler) abandon(url string, tc trace.Context, now int64) {
 		c.stats.RetriesExhausted++
 		c.m.retryExhausted.Inc()
 		tc.Error("retry_exhausted", now, trace.Int("attempts", int64(c.cfg.MaxRetries+1)))
+		c.lg.fetch.For(tc.Trace).Warn("retry.exhausted", now,
+			trace.String("url", url), trace.Int("attempts", int64(c.cfg.MaxRetries+1)))
 	}
 	c.finishTrace(tc, "failed", now)
 }
@@ -213,6 +225,11 @@ func (c *Crawler) onFetchError(item crawldb.FetchItem, attempt int, info synthwe
 	now := c.nowMs()
 	tc.Event("fetch.error", now,
 		trace.Int("attempt", int64(attempt)), trace.String("cause", err.Error()))
+	if c.lg.fetch.Enabled() {
+		c.lg.fetch.For(tc.Trace).Warn("fetch.error", now,
+			trace.String("url", item.URL), trace.Int("attempt", int64(attempt)),
+			trace.String("cause", err.Error()))
+	}
 	switch {
 	case errors.Is(err, synthweb.ErrRateLimited):
 		c.stats.RateLimited++
@@ -239,6 +256,10 @@ func (c *Crawler) onFetchError(item crawldb.FetchItem, attempt int, info synthwe
 			c.m.retryBackoffMs.Observe(float64(d))
 			tc.Event("retry.backoff", now,
 				trace.Int("attempt", int64(attempt)), trace.Int("delay_ms", d))
+			if c.lg.fetch.Enabled() {
+				c.lg.fetch.For(tc.Trace).Sample(item.URL, 4).Debug("retry.backoff", now,
+					trace.String("url", item.URL), trace.Int("delay_ms", d))
+			}
 			c.scheduleRetry(item, now+d)
 		} else {
 			c.abandon(item.URL, tc, now)

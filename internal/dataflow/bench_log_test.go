@@ -1,0 +1,27 @@
+package dataflow
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/evlog"
+)
+
+// The event log emits per-execution and per-node records plus per-record
+// retry/quarantine events, all through the sink's mutex. The pair below
+// prices that against the unlogged fast path (cfg.Log == nil leaves every
+// logger a zero value whose methods return immediately); BENCH_PR5.json
+// commits both.
+
+func benchExecuteLog(b *testing.B, logged bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := ExecConfig{DoP: 2, Policy: Quarantine}
+		if logged {
+			cfg.Log = evlog.NewSink(evlog.DefaultConfig(1))
+		}
+		_, _, _ = Execute(benchPlan(), input(500), cfg)
+	}
+}
+
+func BenchmarkExecuteLogOff(b *testing.B) { benchExecuteLog(b, false) }
+
+func BenchmarkExecuteLogOn(b *testing.B) { benchExecuteLog(b, true) }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 )
 
@@ -68,6 +69,12 @@ type ExecConfig struct {
 	// as the trace key (e.g. "id"). Records without the field fall back to
 	// an input-index key.
 	TraceKey string
+	// Log, when set, receives the execution's event log: exec lifecycle,
+	// per-record retry/panic/quarantine decisions, and one summary record
+	// per operator. Timestamps are the same plan-position logical clock
+	// the tracer uses, and evlog retention is order-independent, so the
+	// exported log is byte-identical across DoP settings per seed.
+	Log *evlog.Sink
 }
 
 // DefaultExecConfig uses DoP 4.
@@ -243,7 +250,7 @@ func (q *quarantineLog) sorted() []QuarantinedRecord {
 // panic recovery, up to cfg.OpRetries re-presentations (each attempt's
 // emissions buffered and discarded on failure), then quarantine or abort.
 // A non-nil return is a FailFast abort.
-func process(n *Node, nm *nodeMetrics, cfg ExecConfig, item flowItem, emit Emit, q *quarantineLog) error {
+func process(n *Node, nm *nodeMetrics, cfg ExecConfig, item flowItem, emit Emit, q *quarantineLog, lg evlog.Logger) error {
 	rec, tc := item.rec, item.tc
 	ts := int64(n.id) // plan-position logical clock
 	var lastErr error
@@ -258,6 +265,8 @@ func process(n *Node, nm *nodeMetrics, cfg ExecConfig, item flowItem, emit Emit,
 				in = rec.Clone()
 				nm.retries.Inc()
 				tc.Event("op.retry", ts, trace.Int("attempt", int64(attempt)))
+				lg.For(tc.Trace).Debug("op.retry", ts,
+					trace.String("op", n.Op.Name), trace.Int("attempt", int64(attempt)))
 			}
 		}
 		err := safeUDF(n.Op.Fn, in, out)
@@ -275,18 +284,23 @@ func process(n *Node, nm *nodeMetrics, cfg ExecConfig, item flowItem, emit Emit,
 			nm.panics.Inc()
 			// Panic recovery is a flight-recorder event: pin the lineage.
 			tc.Error("panic", ts, trace.String("op", n.Op.Name))
+			lg.For(tc.Trace).Warn("op.panic", ts, trace.String("op", n.Op.Name))
 		}
 		lastErr = err
 	}
 	nm.errs.Inc()
 	if cfg.Policy == FailFast {
 		tc.Event("op.abort", ts, trace.String("cause", lastErr.Error()))
+		lg.For(tc.Trace).Error("op.abort", ts,
+			trace.String("op", n.Op.Name), trace.String("cause", lastErr.Error()))
 		return fmt.Errorf("dataflow: op %q: %w", n.Op.Name, lastErr)
 	}
 	nm.quarantined.Inc()
 	// Quarantine routing pins the record's full lineage so the dead letter
 	// is reconstructible hop by hop.
 	tc.Error("quarantine", ts,
+		trace.String("op", n.Op.Name), trace.String("cause", lastErr.Error()))
+	lg.For(tc.Trace).Warn("op.quarantine", ts,
 		trace.String("op", n.Op.Name), trace.String("cause", lastErr.Error()))
 	q.add(n, rec, lastErr, tc)
 	return nil
@@ -320,6 +334,19 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	wall := reg.StartSpan("dataflow.wall")
 	reg.Counter("dataflow.executions").Inc()
 	inflight := reg.Gauge("dataflow.records.inflight")
+
+	// Event-log loggers (no-ops when cfg.Log is nil). lgOp is shared by
+	// every worker goroutine: Sink.emit serializes, record content derives
+	// only from (plan, seed), and retention is order-independent, so the
+	// export is identical at any DoP. No rate limiting here — token
+	// buckets are order-sensitive and would break that identity.
+	lgExec := cfg.Log.Logger("dataflow.exec")
+	lgOp := cfg.Log.Logger("dataflow.op")
+	// exec.start deliberately omits DoP: the log contract is byte-identity
+	// across DoP settings, and worker count is run shape, not plan content.
+	lgExec.Info("exec.start", 0,
+		trace.Int("records", int64(len(input))),
+		trace.Int("nodes", int64(len(p.nodes))))
 
 	stats := &ExecStats{PerNode: map[int]*NodeStats{}}
 	metrics := map[int]*nodeMetrics{}
@@ -442,7 +469,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 							emitFrom(rec, item.tc, emitIdx)
 							emitIdx++
 						}
-						err := process(n, nm, cfg, item, emit, quar)
+						err := process(n, nm, cfg, item, emit, quar, lgOp)
 						sp.End()
 						item.tc.End(int64(n.id) + 1)
 						inflight.Add(-1)
@@ -511,7 +538,10 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		roots[i].Finish(int64(len(p.nodes)) + 1)
 	}
 	stats.Wall = wall.End()
-	// Fill the public per-node stats from the registry deltas.
+	// Fill the public per-node stats from the registry deltas, and emit
+	// the per-operator summaries serially in plan order (all workers have
+	// joined, so these land after every per-record event).
+	endTs := int64(len(p.nodes)) + 1
 	for _, n := range p.nodes {
 		ns, nm := stats.PerNode[n.id], metrics[n.id]
 		ns.In = nm.in.Value() - nm.in0
@@ -520,8 +550,15 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		ns.Retries = nm.retries.Value() - nm.retries0
 		ns.Panics = nm.panics.Value() - nm.panics0
 		ns.Quarantined = nm.quarantined.Value() - nm.quar0
+		lgOp.Info("op.summary", endTs,
+			trace.String("op", n.Op.Name), trace.Int("node", int64(n.id)),
+			trace.Int("in", ns.In), trace.Int("out", ns.Out),
+			trace.Int("quarantined", ns.Quarantined))
 	}
 	stats.Quarantined = quar.sorted()
+	lgExec.Info("exec.done", endTs,
+		trace.Int("quarantined", stats.TotalQuarantined()),
+		trace.Int("retries", stats.TotalRetries()))
 	if ep := abortErr.Load(); ep != nil {
 		return nil, stats, *ep
 	}

@@ -1,0 +1,156 @@
+// Package cliobs is the shared observability surface of the webtextie
+// binaries: one Register call gives a command the same -trace, -log,
+// -doctor, and -debug-addr flags as every other command, so flag parity
+// across crawl, analyze, and experiments holds by construction instead
+// of by convention (and is checked by a table test over Names).
+//
+// The package renders summaries and reports as strings for the caller
+// to print — commands own stdout; cliobs never writes to it.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webtextie/internal/obs"
+	"webtextie/internal/obs/debugserv"
+	"webtextie/internal/obs/doctor"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+)
+
+// Flags holds the registered observability flags of one command.
+type Flags struct {
+	TraceOn     *bool
+	TraceOut    *string
+	TraceChrome *string
+	LogOn       *bool
+	LogOut      *string
+	DoctorOn    *bool
+	DebugAddr   *string
+}
+
+// Names lists the shared observability flag names every binary exposes —
+// the parity contract the cmd table test checks against each command's
+// FlagSet.
+func Names() []string {
+	return []string{"trace", "trace-out", "trace-chrome", "log", "log-out", "doctor", "debug-addr"}
+}
+
+// Register installs the shared observability flags on a FlagSet.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		TraceOn:     fs.Bool("trace", false, "attach the deterministic lineage trace recorder"),
+		TraceOut:    fs.String("trace-out", "", "write the end-of-run trace export (text) to FILE (implies -trace)"),
+		TraceChrome: fs.String("trace-chrome", "", "write the end-of-run trace export (Chrome trace_event JSON, for Perfetto) to FILE (implies -trace)"),
+		LogOn:       fs.Bool("log", false, "attach the deterministic structured event log"),
+		LogOut:      fs.String("log-out", "", "write the end-of-run event-log export (logfmt) to FILE (implies -log)"),
+		DoctorOn:    fs.Bool("doctor", false, "print the cross-pillar crawl-doctor diagnosis at exit (implies -log)"),
+		DebugAddr:   fs.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /logs /doctor /progress /debug/pprof) on HOST:PORT (implies -trace and -log)"),
+	}
+}
+
+// Setup holds the observability surfaces a command built from its flags.
+// Either pillar pointer is nil when its flags were off.
+type Setup struct {
+	Traces *trace.Recorder
+	Logs   *evlog.Sink
+	f      *Flags
+}
+
+// Setup builds the trace recorder and event-log sink the flags ask for,
+// both seeded for determinism. The sink's derived evlog.records counters
+// land in the process metric registry.
+func (f *Flags) Setup(seed uint64) *Setup {
+	s := &Setup{f: f}
+	if *f.TraceOn || *f.TraceOut != "" || *f.TraceChrome != "" || *f.DebugAddr != "" {
+		s.Traces = trace.NewRecorder(trace.DefaultConfig(seed))
+	}
+	if *f.LogOn || *f.LogOut != "" || *f.DoctorOn || *f.DebugAddr != "" {
+		s.Logs = evlog.NewSink(evlog.DefaultConfig(seed)).WithMetrics(obs.Default())
+	}
+	return s
+}
+
+// Serve starts the live debug server when -debug-addr is set, wired to
+// the process metric registry and this setup's pillars. Returns the
+// bound address ("" when the flag is off) for the command to print.
+func (s *Setup) Serve(progress func() any) (string, error) {
+	if *s.f.DebugAddr == "" {
+		return "", nil
+	}
+	srv, err := debugserv.Start(*s.f.DebugAddr, debugserv.Options{
+		Registry: obs.Default(),
+		Traces:   s.Traces,
+		Logs:     s.Logs,
+		Progress: progress,
+	})
+	if err != nil {
+		return "", err
+	}
+	return srv.Addr(), nil
+}
+
+// Finish writes the -trace-out / -trace-chrome / -log-out export files
+// and returns the end-of-run summary (trace tallies, event-log tallies,
+// and the -doctor report), ready for the command to print. Empty when
+// every observability flag was off.
+func (s *Setup) Finish() (string, error) {
+	var b strings.Builder
+	var traceSnap *trace.Snapshot
+	if s.Traces != nil {
+		traceSnap = s.Traces.Snapshot()
+		counts := traceSnap.ErrClassCounts()
+		fmt.Fprintf(&b, "traces: %d retained", len(traceSnap.Traces))
+		for _, cl := range trace.SortedErrClasses(counts) {
+			fmt.Fprintf(&b, ", %s=%d", cl, counts[cl])
+		}
+		b.WriteByte('\n')
+		if *s.f.TraceOut != "" {
+			if err := os.WriteFile(*s.f.TraceOut, []byte(traceSnap.Text()), 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "trace export (text) written to %s\n", *s.f.TraceOut)
+		}
+		if *s.f.TraceChrome != "" {
+			blob, err := traceSnap.Chrome()
+			if err != nil {
+				return b.String(), err
+			}
+			if err := os.WriteFile(*s.f.TraceChrome, blob, 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "trace export (Perfetto) written to %s\n", *s.f.TraceChrome)
+		}
+	}
+	var logSnap *evlog.Snapshot
+	if s.Logs != nil {
+		logSnap = s.Logs.Snapshot()
+		fmt.Fprintf(&b, "event log: %d records retained (%d emitted", len(logSnap.Records), logSnap.Stats.Emitted)
+		levels := logSnap.LevelCounts()
+		for _, lv := range []evlog.Level{evlog.Debug, evlog.Info, evlog.Warn, evlog.Error} {
+			if n := levels[lv.String()]; n > 0 {
+				fmt.Fprintf(&b, ", %s=%d", lv, n)
+			}
+		}
+		b.WriteString(")\n")
+		if *s.f.LogOut != "" {
+			if err := os.WriteFile(*s.f.LogOut, []byte(logSnap.Logfmt()), 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "event-log export (logfmt) written to %s\n", *s.f.LogOut)
+		}
+	}
+	if *s.f.DoctorOn {
+		rep := doctor.Diagnose(doctor.Input{
+			Metrics: obs.Default().Snapshot(),
+			Traces:  traceSnap,
+			Logs:    logSnap,
+		})
+		b.WriteByte('\n')
+		b.WriteString(rep.Text())
+	}
+	return b.String(), nil
+}

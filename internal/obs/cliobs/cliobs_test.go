@@ -1,0 +1,167 @@
+package cliobs
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNamesMatchRegister pins the parity contract: the flag set Register
+// installs is exactly Names(), no more, no less.
+func TestNamesMatchRegister(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Register(fs)
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
+	want := Names()
+	if len(got) != len(want) {
+		t.Errorf("Register installed %d flags, Names() lists %d", len(got), len(want))
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("Names() lists %q but Register did not install it", name)
+		}
+		delete(got, name)
+	}
+	for name := range got {
+		t.Errorf("Register installed %q but Names() does not list it", name)
+	}
+}
+
+// TestFlagParityAcrossCommands is the cross-binary table test: every
+// command must obtain the shared observability flags through
+// cliobs.Register (parity by construction) and must not register any of
+// the shared names itself (no shadowing, no drift).
+func TestFlagParityAcrossCommands(t *testing.T) {
+	shared := map[string]bool{}
+	for _, n := range Names() {
+		shared[n] = true
+	}
+	for _, cmd := range []string{"crawl", "analyze", "experiments"} {
+		t.Run(cmd, func(t *testing.T) {
+			src := filepath.Join("..", "..", "..", "cmd", cmd, "main.go")
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatalf("reading %s: %v", src, err)
+			}
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, src, data, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", src, err)
+			}
+			registered := false
+			var shadowed []string
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pkg.Name == "cliobs" && sel.Sel.Name == "Register" {
+					registered = true
+				}
+				// Any flag.Xxx("name", ...) call whose first argument is a
+				// shared observability flag name is shadowing.
+				if pkg.Name == "flag" && len(call.Args) > 0 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if name, err := strconv.Unquote(lit.Value); err == nil && shared[name] {
+							shadowed = append(shadowed, name)
+						}
+					}
+				}
+				return true
+			})
+			if !registered {
+				t.Errorf("cmd/%s does not call cliobs.Register — observability flags would drift", cmd)
+			}
+			if len(shadowed) > 0 {
+				sort.Strings(shadowed)
+				t.Errorf("cmd/%s registers shared observability flags itself: %v", cmd, shadowed)
+			}
+		})
+	}
+}
+
+// TestSetupGating tables which flags bring up which pillar.
+func TestSetupGating(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantTraces bool
+		wantLogs   bool
+	}{
+		{"none", nil, false, false},
+		{"trace", []string{"-trace"}, true, false},
+		{"trace-out", []string{"-trace-out", "x"}, true, false},
+		{"trace-chrome", []string{"-trace-chrome", "x"}, true, false},
+		{"log", []string{"-log"}, false, true},
+		{"log-out", []string{"-log-out", "x"}, false, true},
+		{"doctor", []string{"-doctor"}, false, true},
+		{"debug-addr", []string{"-debug-addr", "127.0.0.1:0"}, true, true},
+		{"both", []string{"-trace", "-log"}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			f := Register(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			s := f.Setup(7)
+			if got := s.Traces != nil; got != tc.wantTraces {
+				t.Errorf("Traces attached = %v, want %v", got, tc.wantTraces)
+			}
+			if got := s.Logs != nil; got != tc.wantLogs {
+				t.Errorf("Logs attached = %v, want %v", got, tc.wantLogs)
+			}
+		})
+	}
+}
+
+// TestFinishExportsAndDoctor runs the full Finish path: log export file,
+// summary tallies, and the doctor report appended under -doctor.
+func TestFinishExportsAndDoctor(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "run.logfmt")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-log-out", logPath, "-doctor"}); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Setup(7)
+	lg := s.Logs.Logger("cliobs.test")
+	lg.Info("test.event", 1)
+	lg.Warn("test.warn", 2)
+
+	summary, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("log export not written: %v", err)
+	}
+	if !strings.Contains(string(data), "msg=test.event") {
+		t.Errorf("log export missing emitted record:\n%s", data)
+	}
+	if !strings.Contains(summary, "event log: 2 records retained") {
+		t.Errorf("summary missing event-log tally:\n%s", summary)
+	}
+	if !strings.Contains(summary, "crawl doctor:") {
+		t.Errorf("summary missing doctor report:\n%s", summary)
+	}
+}

@@ -17,16 +17,20 @@ import (
 	"strings"
 
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/doctor"
+	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 )
 
 // Options wires the server to the process's observability surfaces. Any
 // field may be nil; the corresponding endpoint reports that it is off.
 type Options struct {
-	// Registry backs /metrics (text and JSON).
+	// Registry backs /metrics (text and JSON) and feeds /doctor.
 	Registry *obs.Registry
-	// Traces backs /traces and /trace.
+	// Traces backs /traces and /trace and feeds /doctor.
 	Traces *trace.Recorder
+	// Logs backs /logs and feeds /doctor.
+	Logs *evlog.Sink
 	// Progress backs /progress: called per request, must be safe to call
 	// concurrently with the workload, and its result must JSON-marshal.
 	Progress func() any
@@ -40,6 +44,8 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/metrics", o.metrics)
 	mux.HandleFunc("/traces", o.traces)
 	mux.HandleFunc("/trace", o.traceByID)
+	mux.HandleFunc("/logs", o.logs)
+	mux.HandleFunc("/doctor", o.doctor)
 	mux.HandleFunc("/progress", o.progress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -89,6 +95,8 @@ func (o Options) index(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("/metrics            metric registry (?format=json)\n")
 	b.WriteString("/traces             recent+pinned traces (?url= &op= &err= &pinned=1 &limit= &format=text|json|chrome|summary)\n")
 	b.WriteString("/trace?id=<hex>     one trace by ID\n")
+	b.WriteString("/logs               event log (?component= &level= &msg= &trace= &limit= &format=text|json|logfmt)\n")
+	b.WriteString("/doctor             ranked crawl diagnosis (?severity= &rule= &format=json)\n")
 	b.WriteString("/progress           live workload progress (JSON)\n")
 	b.WriteString("/debug/pprof/       runtime profiles\n")
 	if o.Traces != nil {
@@ -181,6 +189,75 @@ func (o Options) traceByID(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(one.Text()))
+}
+
+// parseLogFilter maps /logs query parameters onto an evlog.Filter.
+func parseLogFilter(r *http.Request) evlog.Filter {
+	q := r.URL.Query()
+	f := evlog.Filter{
+		Component: q.Get("component"),
+		Msg:       q.Get("msg"),
+	}
+	if lv, ok := evlog.ParseLevel(q.Get("level")); ok {
+		f.MinLevel = lv
+	}
+	if id, err := trace.ParseID(q.Get("trace")); err == nil && id != 0 {
+		f.Trace = uint64(id)
+	}
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
+		f.Limit = n
+	}
+	return f
+}
+
+func (o Options) logs(w http.ResponseWriter, r *http.Request) {
+	if o.Logs == nil {
+		http.Error(w, "logging off: no sink attached", http.StatusNotFound)
+		return
+	}
+	s := o.Logs.Snapshot().Filter(parseLogFilter(r))
+	switch r.URL.Query().Get("format") {
+	case "json":
+		writeJSONBlob(w, s.JSON)
+	case "logfmt":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Logfmt()))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Text()))
+	}
+}
+
+func (o Options) doctor(w http.ResponseWriter, r *http.Request) {
+	if o.Registry == nil && o.Traces == nil && o.Logs == nil {
+		http.Error(w, "doctor off: no observability surfaces attached", http.StatusNotFound)
+		return
+	}
+	in := doctor.Input{}
+	if o.Registry != nil {
+		in.Metrics = o.Registry.Snapshot()
+	}
+	if o.Traces != nil {
+		in.Traces = o.Traces.Snapshot()
+	}
+	if o.Logs != nil {
+		in.Logs = o.Logs.Snapshot()
+	}
+	rep := doctor.Diagnose(in)
+	q := r.URL.Query()
+	minSev, rule := doctor.Note, q.Get("rule")
+	if sv, ok := doctor.ParseSeverity(q.Get("severity")); ok {
+		minSev = sv
+	}
+	if minSev != doctor.Note || rule != "" {
+		rep = rep.Filter(minSev, rule)
+	}
+	if q.Get("format") == "json" {
+		writeJSONBlob(w, rep.JSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(rep.Text()))
 }
 
 func (o Options) progress(w http.ResponseWriter, r *http.Request) {

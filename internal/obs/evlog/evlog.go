@@ -1,0 +1,239 @@
+// Package evlog is the third observability pillar: a deterministic
+// structured event log beside the obs metric registry (PR 1) and the
+// trace recorder (PR 4). Where obs aggregates and trace follows single
+// documents, evlog answers "what did the system decide, in order, and
+// why" — the narrative the paper's authors had to reconstruct by hand
+// from aggregate numbers after their 1 TB run went sideways (PAPER.md
+// §5-6).
+//
+// Everything is deterministic per seed and free of wall-clock reads,
+// matching the trace pillar's discipline:
+//
+//   - timestamps are virtual-clock milliseconds supplied by the caller
+//     (the crawler's discrete-event clock, the dataflow's plan-position
+//     logical clock);
+//   - sampling is hash-based — keep/drop is a pure function of
+//     (seed, component, sample key), never a racy counter;
+//   - rate limiting is a token bucket refilled by virtual time, for
+//     serial emitters (the crawler loop) only;
+//   - retention is a pure function of the emitted record multiset
+//     (bottom-k by seeded FNV priority, evict-min tails), so two
+//     same-seed runs export byte-identical logs even when records are
+//     emitted concurrently;
+//   - exporters render a canonical record order derived from record
+//     content, never from arrival order.
+//
+// Records at Warn and above bypass sampling and rate limiting: the
+// interesting records always land, only chatter is shed.
+//
+// Attrs reuse trace.Attr, so the attribute vocabulary (and the lintx
+// key-hygiene grammar) is shared across pillars, and any record can
+// carry a trace ID for cross-pillar correlation.
+package evlog
+
+import (
+	"fmt"
+
+	"webtextie/internal/obs/trace"
+)
+
+// Level is a record severity. The zero value is Debug.
+type Level int8
+
+// Severity levels, in increasing order.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+var levelNames = [...]string{"debug", "info", "warn", "error"}
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	if l < Debug || l > Error {
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel maps a lower-case level name back to its Level.
+func ParseLevel(s string) (Level, bool) {
+	for i, n := range levelNames {
+		if n == s {
+			return Level(i), true
+		}
+	}
+	return Debug, false
+}
+
+// MarshalJSON renders the level as its quoted name.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + l.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a quoted level name.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("evlog: bad level %s", data)
+	}
+	v, ok := ParseLevel(string(data[1 : len(data)-1]))
+	if !ok {
+		return fmt.Errorf("evlog: unknown level %s", data)
+	}
+	*l = v
+	return nil
+}
+
+// Record is one structured log event. Records are plain values; the
+// canonical logfmt rendering (see line) doubles as the record identity
+// that retention priorities and the export order derive from.
+type Record struct {
+	AtMs      int64         `json:"at_ms"`
+	Level     Level         `json:"level"`
+	Component string        `json:"component"`
+	Msg       string        `json:"msg"`
+	Trace     trace.TraceID `json:"trace,omitempty"`
+	Attrs     []trace.Attr  `json:"attrs,omitempty"`
+}
+
+// Logger emits records for one component into a Sink. Loggers are cheap
+// values; the zero Logger (and any logger from a nil sink) is a valid
+// no-op, which is the entire logging-off fast path.
+type Logger struct {
+	s          *Sink
+	component  string
+	trace      trace.TraceID
+	rate       string // bucket key ("" = unlimited)
+	sampledOut bool
+}
+
+// Enabled reports whether the logger records anywhere.
+func (l Logger) Enabled() bool { return l.s != nil }
+
+// For returns a derived logger stamping every record with the trace ID —
+// the cross-pillar correlation hook.
+func (l Logger) For(id trace.TraceID) Logger {
+	l.trace = id
+	return l
+}
+
+// Sample keeps 1-in-n emissions for Debug/Info records, decided by a
+// pure hash of (seed, component, key) — same-seed runs keep the same
+// keys regardless of emission order. Keys are stable per-subject values
+// (a URL, a record key), so one subject's records are kept or shed as a
+// unit. n <= 1 keeps everything; Warn and Error always pass. Each
+// Debug/Info emission through a sampled-out logger counts one sampled
+// drop in the sink stats.
+func (l Logger) Sample(key string, n int) Logger {
+	if l.s == nil || n <= 1 || l.sampledOut {
+		return l
+	}
+	if fnvMix(l.s.cfg.Seed, fnvString(l.component), fnvString(key))%uint64(n) != 0 {
+		l.sampledOut = true
+	}
+	return l
+}
+
+// RateLimit attaches the component's token bucket (creating it with the
+// given burst capacity and refill rate if absent): Debug/Info records
+// spend one token each, the bucket refills perSec tokens per virtual
+// second, and an empty bucket sheds the record (counted in the sink
+// stats). Buckets are keyed per component and their state rides
+// snapshots, so a resumed run continues the same budget. Valid for
+// serial emitters only — concurrent hot paths must use Sample, whose
+// keep/drop decision does not depend on emission order.
+func (l Logger) RateLimit(burst int, perSec float64) Logger {
+	if l.s == nil || burst <= 0 || perSec <= 0 {
+		return l
+	}
+	l.s.ensureBucket(l.component, burst, perSec)
+	l.rate = l.component
+	return l
+}
+
+// Debug emits a debug-level record.
+func (l Logger) Debug(msg string, atMs int64, attrs ...trace.Attr) {
+	l.emit(Debug, msg, atMs, attrs)
+}
+
+// Info emits an info-level record.
+func (l Logger) Info(msg string, atMs int64, attrs ...trace.Attr) {
+	l.emit(Info, msg, atMs, attrs)
+}
+
+// Warn emits a warn-level record (never sampled or rate-limited).
+func (l Logger) Warn(msg string, atMs int64, attrs ...trace.Attr) {
+	l.emit(Warn, msg, atMs, attrs)
+}
+
+// Error emits an error-level record (never sampled or rate-limited).
+func (l Logger) Error(msg string, atMs int64, attrs ...trace.Attr) {
+	l.emit(Error, msg, atMs, attrs)
+}
+
+func (l Logger) emit(lv Level, msg string, atMs int64, attrs []trace.Attr) {
+	if l.s == nil {
+		return
+	}
+	rate := l.rate
+	if lv >= Warn {
+		rate = "" // severity bypasses shedding
+	} else if l.sampledOut {
+		l.s.countSampledDrop()
+		return
+	}
+	l.s.emit(rate, Record{
+		AtMs:      atMs,
+		Level:     lv,
+		Component: l.component,
+		Msg:       msg,
+		Trace:     l.trace,
+		Attrs:     attrs,
+	})
+}
+
+// FNV-1a constants (the repo's standard deterministic hash; mirrored
+// from internal/obs/trace).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds uint64 words into an FNV-1a hash, little-endian byte
+// order, so derived priorities are platform-stable.
+func fnvMix(parts ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// fnvString hashes a string with FNV-1a.
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// MetricName joins metric name parts with dots — the sanctioned builder
+// for computed metric names (mirrors dataflow.MetricName; the lintx
+// metricname check allows it and nothing else).
+func MetricName(parts ...string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,380 @@
+package evlog
+
+import (
+	"sort"
+	"sync"
+
+	"webtextie/internal/obs"
+	"webtextie/internal/obs/trace"
+)
+
+// Config bounds a Sink. The retention model keeps two classes of
+// records, mirroring the trace recorder's pure-function discipline:
+//
+//	pinned     Warn/Error records, bottom-PinKeep by FNV priority
+//	tail       the TailKeep most recent Debug/Info records
+//	reservoir  a bottom-k hash sample of Debug/Info tail evictees
+//
+// All three are pure functions of the emitted record multiset —
+// evict-max for the pinned class, evict-min for the tail, and
+// bottom-k-by-priority for the reservoir are order-independent — so the
+// retained set does not depend on emission interleaving, and two
+// same-seed runs export byte-identical logs. Exact per-(component,
+// level) totals are always kept, even for shed records.
+type Config struct {
+	// Seed feeds sampling decisions and retention priorities.
+	Seed uint64
+	// MinLevel drops records below it at emission (default Debug).
+	MinLevel Level
+	// TailKeep is the ring of most recent Debug/Info records.
+	TailKeep int
+	// ReservoirKeep is the bottom-k sample size over tail evictees.
+	ReservoirKeep int
+	// PinKeep caps retained Warn/Error records.
+	PinKeep int
+}
+
+// DefaultConfig returns the calibrated sink bounds for a seed.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		TailKeep:      256,
+		ReservoirKeep: 64,
+		PinKeep:       256,
+	}
+}
+
+// bucket is one component's token bucket, in virtual time. The state is
+// exported so snapshots can carry budgets across checkpoint/resume.
+type bucket struct {
+	Burst  float64 `json:"burst"`
+	PerSec float64 `json:"per_sec"`
+	Tokens float64 `json:"tokens"`
+	LastMs int64   `json:"last_ms"`
+}
+
+// take spends one token, refilling first from elapsed virtual time.
+func (b *bucket) take(atMs int64) bool {
+	if atMs > b.LastMs {
+		b.Tokens += float64(atMs-b.LastMs) * b.PerSec / 1000
+		if b.Tokens > b.Burst {
+			b.Tokens = b.Burst
+		}
+		b.LastMs = atMs
+	}
+	if b.Tokens < 1 {
+		return false
+	}
+	b.Tokens--
+	return true
+}
+
+// Sink collects records under a single mutex. All methods are safe for
+// concurrent use; a nil *Sink is a valid always-off sink.
+type Sink struct {
+	mu  sync.Mutex
+	cfg Config
+	reg *obs.Registry
+
+	pinned []Record // Warn/Error, bottom-PinKeep by priority
+	tail   []Record // Debug/Info, most recent TailKeep
+	resv   []Record // bottom-ReservoirKeep sample of tail evictees
+
+	totals  map[string]uint64 // "<level> <component>" -> emitted count
+	buckets map[string]*bucket
+	stats   Stats
+
+	counters map[string]*obs.Counter // derived-metric cache
+}
+
+// Stats are the sink's emission and loss counters. Emitted counts every
+// record past the level gate (including ones later shed by retention);
+// the drop counters partition everything that did not survive.
+type Stats struct {
+	Emitted          uint64 `json:"emitted"`
+	DroppedSampled   uint64 `json:"dropped_sampled,omitempty"`
+	DroppedRated     uint64 `json:"dropped_rated,omitempty"`
+	DroppedRetention uint64 `json:"dropped_retention,omitempty"`
+	PinDropped       uint64 `json:"pin_dropped,omitempty"`
+}
+
+// NewSink returns a sink with the given bounds. Non-positive bounds fall
+// back to DefaultConfig values.
+func NewSink(cfg Config) *Sink {
+	def := DefaultConfig(cfg.Seed)
+	if cfg.TailKeep <= 0 {
+		cfg.TailKeep = def.TailKeep
+	}
+	if cfg.ReservoirKeep <= 0 {
+		cfg.ReservoirKeep = def.ReservoirKeep
+	}
+	if cfg.PinKeep <= 0 {
+		cfg.PinKeep = def.PinKeep
+	}
+	return &Sink{
+		cfg:      cfg,
+		totals:   map[string]uint64{},
+		buckets:  map[string]*bucket{},
+		counters: map[string]*obs.Counter{},
+	}
+}
+
+// WithMetrics derives log->metric counters into the registry: every
+// emitted record increments evlog.records.<component>.<level>.
+func (s *Sink) WithMetrics(reg *obs.Registry) *Sink {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+	return s
+}
+
+// Logger returns a component-scoped logger. Components are dotted
+// lower-case constants ("crawler.fetch", "dataflow.op"); the lintx
+// logcall check enforces the grammar. A nil sink returns the no-op zero
+// Logger.
+func (s *Sink) Logger(component string) Logger {
+	if s == nil {
+		return Logger{}
+	}
+	return Logger{s: s, component: component}
+}
+
+// totalKey is the totals map key: "<level> <component>" (level first so
+// the sorted text rendering groups by severity).
+func totalKey(lv Level, component string) string {
+	return lv.String() + " " + component
+}
+
+func (s *Sink) countSampledDrop() {
+	s.mu.Lock()
+	s.stats.DroppedSampled++
+	s.mu.Unlock()
+}
+
+func (s *Sink) ensureBucket(component string, burst int, perSec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[component]; !ok {
+		s.buckets[component] = &bucket{Burst: float64(burst), PerSec: perSec, Tokens: float64(burst)}
+	}
+}
+
+// emit admits one record through the level gate, the rate bucket, and
+// retention, and feeds the totals and derived counters.
+func (s *Sink) emit(rateKey string, r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Level < s.cfg.MinLevel {
+		return
+	}
+	if rateKey != "" {
+		if b := s.buckets[rateKey]; b != nil && !b.take(r.AtMs) {
+			s.stats.DroppedRated++
+			return
+		}
+	}
+	s.stats.Emitted++
+	s.totals[totalKey(r.Level, r.Component)]++
+	if s.reg != nil {
+		s.counterLocked(r.Component, r.Level).Inc()
+	}
+	if r.Level >= Warn {
+		s.admitPinnedLocked(r)
+	} else {
+		s.admitTailLocked(r)
+	}
+}
+
+// counterLocked resolves the derived obs counter through a small cache
+// (the registry lookup allocates and locks; emissions are hot).
+func (s *Sink) counterLocked(component string, lv Level) *obs.Counter {
+	key := totalKey(lv, component)
+	c := s.counters[key]
+	if c == nil {
+		c = s.reg.Counter(MetricName("evlog", "records", component, lv.String()))
+		s.counters[key] = c
+	}
+	return c
+}
+
+// prio is a record's seeded retention priority — a pure function of the
+// record's canonical rendering, so it is independent of emission order.
+func (s *Sink) prio(r Record) uint64 {
+	return fnvMix(s.cfg.Seed, fnvString(r.line()))
+}
+
+// admitPinnedLocked keeps the bottom-PinKeep Warn/Error records by
+// (priority, line): append, then evict the max when over.
+func (s *Sink) admitPinnedLocked(r Record) {
+	s.pinned = append(s.pinned, r)
+	if len(s.pinned) <= s.cfg.PinKeep {
+		return
+	}
+	worst := 0
+	for i := 1; i < len(s.pinned); i++ {
+		if s.recordLess(s.pinned[worst], s.pinned[i]) {
+			worst = i
+		}
+	}
+	s.pinned[worst] = s.pinned[len(s.pinned)-1]
+	s.pinned = s.pinned[:len(s.pinned)-1]
+	s.stats.PinDropped++
+}
+
+// recordLess orders records by (priority, line) — the total order the
+// pinned class and the reservoir evict against.
+func (s *Sink) recordLess(a, b Record) bool {
+	pa, pb := s.prio(a), s.prio(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return a.line() < b.line()
+}
+
+// admitTailLocked keeps the most recent TailKeep Debug/Info records by
+// (AtMs, priority, line): append, then evict the min (the oldest) into
+// the reservoir when over.
+func (s *Sink) admitTailLocked(r Record) {
+	s.tail = append(s.tail, r)
+	if len(s.tail) <= s.cfg.TailKeep {
+		return
+	}
+	oldest := 0
+	for i := 1; i < len(s.tail); i++ {
+		if s.tailLess(s.tail[i], s.tail[oldest]) {
+			oldest = i
+		}
+	}
+	ev := s.tail[oldest]
+	s.tail[oldest] = s.tail[len(s.tail)-1]
+	s.tail = s.tail[:len(s.tail)-1]
+	s.offerReservoirLocked(ev)
+}
+
+// tailLess orders tail records by (AtMs, priority, line) — virtual time
+// first, so the tail is genuinely the most recent window.
+func (s *Sink) tailLess(a, b Record) bool {
+	if a.AtMs != b.AtMs {
+		return a.AtMs < b.AtMs
+	}
+	return s.recordLess(a, b)
+}
+
+// offerReservoirLocked implements bottom-k sampling over tail evictees:
+// the k candidates with the smallest (priority, line) stay.
+func (s *Sink) offerReservoirLocked(r Record) {
+	if len(s.resv) < s.cfg.ReservoirKeep {
+		s.resv = append(s.resv, r)
+		return
+	}
+	worst := 0
+	for i := 1; i < len(s.resv); i++ {
+		if s.recordLess(s.resv[worst], s.resv[i]) {
+			worst = i
+		}
+	}
+	if s.recordLess(r, s.resv[worst]) {
+		s.resv[worst] = r
+	}
+	s.stats.DroppedRetention++
+}
+
+// Len returns the number of retained records.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pinned) + len(s.tail) + len(s.resv)
+}
+
+// Snapshot is a deep, consistent copy of the sink: retained records in
+// canonical order plus the totals, loss counters, and bucket states
+// needed to continue after a resume. It is plain JSON-encodable data.
+type Snapshot struct {
+	Stats   Stats             `json:"stats"`
+	Totals  map[string]uint64 `json:"totals,omitempty"`
+	Buckets map[string]bucket `json:"buckets,omitempty"`
+	Records []Record          `json:"records"`
+}
+
+// Snapshot freezes the sink. The copy shares nothing with the live sink.
+func (s *Sink) Snapshot() *Snapshot {
+	if s == nil {
+		return &Snapshot{Records: []Record{}}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Snapshot{
+		Stats:   s.stats,
+		Records: make([]Record, 0, len(s.pinned)+len(s.tail)+len(s.resv)),
+	}
+	if len(s.totals) > 0 {
+		out.Totals = make(map[string]uint64, len(s.totals))
+		for k, v := range s.totals {
+			out.Totals[k] = v
+		}
+	}
+	if len(s.buckets) > 0 {
+		out.Buckets = make(map[string]bucket, len(s.buckets))
+		for k, b := range s.buckets {
+			out.Buckets[k] = *b
+		}
+	}
+	for _, set := range [][]Record{s.pinned, s.tail, s.resv} {
+		for _, r := range set {
+			r.Attrs = append([]trace.Attr(nil), r.Attrs...)
+			out.Records = append(out.Records, r)
+		}
+	}
+	sortRecords(out.Records)
+	return out
+}
+
+// Load restores a snapshot into a fresh sink (the resume half of
+// checkpoint/resume). Retention membership is recomputed from the
+// retained set — it is a pure function of it — so retention after the
+// resume proceeds exactly as it would have in the uninterrupted run.
+// Load panics if the sink has already emitted: resuming into a used sink
+// would fold two runs' budgets together.
+func (s *Sink) Load(snap *Snapshot) {
+	if s == nil || snap == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Emitted > 0 || len(s.pinned)+len(s.tail)+len(s.resv) > 0 {
+		panic("evlog: Load into a used sink")
+	}
+	s.stats = snap.Stats
+	for k, v := range snap.Totals {
+		s.totals[k] = v
+	}
+	for k, b := range snap.Buckets {
+		cp := b
+		s.buckets[k] = &cp
+	}
+	var low []Record
+	for _, r := range snap.Records {
+		r.Attrs = append([]trace.Attr(nil), r.Attrs...)
+		if r.Level >= Warn {
+			s.pinned = append(s.pinned, r)
+		} else {
+			low = append(low, r)
+		}
+	}
+	// Largest (AtMs, priority) records form the tail; the rest were
+	// reservoir survivors.
+	sort.Slice(low, func(i, j int) bool { return s.tailLess(low[j], low[i]) })
+	for i, r := range low {
+		if i < s.cfg.TailKeep {
+			s.tail = append(s.tail, r)
+		} else {
+			s.resv = append(s.resv, r)
+		}
+	}
+}

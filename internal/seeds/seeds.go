@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
@@ -293,9 +295,18 @@ type Run struct {
 
 // Generate executes a full seed-generation run.
 func Generate(engines []*Engine, catalog *Catalog) Run {
+	return GenerateLogged(engines, catalog, nil)
+}
+
+// GenerateLogged is Generate with an event log: one record per category
+// (terms queried, URLs contributed) and a final summary, timestamped on
+// the query-count logical clock so exports are deterministic per seed.
+func GenerateLogged(engines []*Engine, catalog *Catalog, sink *evlog.Sink) Run {
+	lg := sink.Logger("seeds.engine")
 	seen := map[string]bool{}
 	var run Run
 	for _, cat := range Categories {
+		before := len(run.SeedURLs)
 		for _, term := range catalog.Terms[cat] {
 			for _, e := range engines {
 				res := e.Search(term, cat)
@@ -308,7 +319,18 @@ func Generate(engines []*Engine, catalog *Catalog) Run {
 				}
 			}
 		}
+		lg.Info("seeds.category", int64(run.QueriesIssued),
+			trace.String("category", cat.String()),
+			trace.Int("terms", int64(len(catalog.Terms[cat]))),
+			trace.Int("urls", int64(len(run.SeedURLs)-before)))
 	}
+	if len(run.SeedURLs) == 0 {
+		lg.Warn("seeds.empty", int64(run.QueriesIssued),
+			trace.Int("queries", int64(run.QueriesIssued)))
+	}
+	lg.Info("seeds.done", int64(run.QueriesIssued),
+		trace.Int("queries", int64(run.QueriesIssued)),
+		trace.Int("urls", int64(len(run.SeedURLs))))
 	sort.Strings(run.SeedURLs)
 	return run
 }

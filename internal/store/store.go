@@ -17,6 +17,8 @@ import (
 	"strings"
 
 	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
 )
 
 // Writer writes records into numbered chunk files
@@ -34,6 +36,15 @@ type Writer struct {
 	records int64
 
 	cRecords, cChunks, cBytes *obs.Counter
+	lg                        evlog.Logger
+}
+
+// WithLog points the writer at an event-log sink: chunk rollovers are
+// logged on a record-count logical clock (deterministic for a
+// deterministic record stream). Returns the writer for chaining.
+func (w *Writer) WithLog(sink *evlog.Sink) *Writer {
+	w.lg = sink.Logger("store.writer")
+	return w
 }
 
 // WithMetrics redirects the writer's counters (store.write.records,
@@ -69,6 +80,8 @@ func (w *Writer) roll() error {
 	}
 	w.chunk++
 	w.cChunks.Inc()
+	w.lg.Info("chunk.roll", w.records,
+		trace.Int("chunk", int64(w.chunk)), trace.String("prefix", w.prefix))
 	name := filepath.Join(w.dir, fmt.Sprintf("%s-%05d.jsonl.gz", w.prefix, w.chunk))
 	f, err := os.Create(name)
 	if err != nil {

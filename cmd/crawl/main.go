@@ -82,11 +82,20 @@ func main() {
 	clf := corpora.TrainClassifier(gen, *seed+2, 400)
 	clf.Threshold = *threshold
 
-	catalog := seeds.BuildCatalog(*seed+3, lex, seeds.ScaledSizes(seeds.PaperSizes(), *termScale))
 	obsSetup := obsFlags.Setup(*seed)
-	run := seeds.GenerateLogged(seeds.DefaultEngines(*seed+4, web), catalog, obsSetup.Logs)
-	fmt.Printf("seed generation: %d terms -> %d queries -> %d seed URLs\n",
-		catalog.Total(), run.QueriesIssued, len(run.SeedURLs))
+
+	// A resumed crawl takes its frontier from the checkpoint, so seed
+	// generation is skipped entirely: its URLs would go unused, and its
+	// log records would dirty the sink before WithLog loads the
+	// checkpoint's log snapshot (Load requires a fresh sink).
+	var seedURLs []string
+	if *resumeFile == "" {
+		catalog := seeds.BuildCatalog(*seed+3, lex, seeds.ScaledSizes(seeds.PaperSizes(), *termScale))
+		run := seeds.GenerateLogged(seeds.DefaultEngines(*seed+4, web), catalog, obsSetup.Logs)
+		fmt.Printf("seed generation: %d terms -> %d queries -> %d seed URLs\n",
+			catalog.Total(), run.QueriesIssued, len(run.SeedURLs))
+		seedURLs = run.SeedURLs
+	}
 
 	cfg := crawler.DefaultConfig()
 	cfg.MaxPages = *pages
@@ -149,7 +158,7 @@ func main() {
 	case *ckptFile != "":
 		c := crawler.New(cfg, web, clf)
 		wire(c)
-		c.Seed(run.SeedURLs)
+		c.Seed(seedURLs)
 		for i := 0; i < *ckptCycles && c.Step(); i++ {
 		}
 		cp := c.Checkpoint()
@@ -168,7 +177,7 @@ func main() {
 	default:
 		c := crawler.New(cfg, web, clf)
 		wire(c)
-		res = c.Run(run.SeedURLs)
+		res = c.Run(seedURLs)
 	}
 	st := res.Stats
 

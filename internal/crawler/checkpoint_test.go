@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"webtextie/internal/obs/evlog"
@@ -222,5 +223,60 @@ func TestCheckpointResumeLogExportIdentical(t *testing.T) {
 	// Sanity: the run actually logged something worth comparing.
 	if len(refSnap.Records) == 0 || refSnap.Stats.Emitted == 0 {
 		t.Fatalf("reference run retained no log records: %+v", refSnap.Stats)
+	}
+}
+
+// TestCheckpointAfterExhaustionLogExportIdentical: the edge where the
+// frontier empties before the checkpoint budget is spent. The pinned
+// frontier.exhausted Warn rides the snapshot, and the resumed run's first
+// Step re-discovers the empty frontier — it must not emit the record a
+// second time, or the export gains a duplicate relative to an
+// uninterrupted run.
+func TestCheckpointAfterExhaustionLogExportIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 0 // run to frontier exhaustion
+	logCfg := evlog.DefaultConfig(9)
+	seedsOf := func(p *pipeline) []string { return defaultSeeds(t, p)[:2] }
+
+	p1 := chaosPipeline(t, 12, nil)
+	refSink := evlog.NewSink(logCfg)
+	ref := New(cfg, p1.web, p1.clf).WithLog(refSink).Run(seedsOf(p1))
+	if !ref.Stats.FrontierEmptied {
+		t.Fatal("reference crawl did not exhaust its frontier")
+	}
+
+	// Interrupted run: step past exhaustion (the checkpoint budget
+	// outlives the crawl), checkpoint, resume, finish.
+	p2 := chaosPipeline(t, 12, nil)
+	c := New(cfg, p2.web, p2.clf).WithLog(evlog.NewSink(logCfg))
+	c.Seed(seedsOf(p2))
+	for c.Step() {
+	}
+	raw, err := c.Checkpoint().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := chaosPipeline(t, 12, nil)
+	rc, err := Resume(cfg, p3.web, p3.clf, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSink := evlog.NewSink(logCfg)
+	rc.WithLog(gotSink)
+	for rc.Step() {
+	}
+	rc.Finish()
+
+	refOut, gotOut := refSink.Snapshot().Logfmt(), gotSink.Snapshot().Logfmt()
+	if n := strings.Count(gotOut, "msg=frontier.exhausted"); n != 1 {
+		t.Errorf("resumed export has %d frontier.exhausted records, want 1", n)
+	}
+	if refOut != gotOut {
+		t.Fatalf("logfmt exports diverge after post-exhaustion resume:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			refOut, gotOut)
 	}
 }

@@ -521,9 +521,7 @@ func (c *Crawler) Step() bool {
 	if len(list) == 0 {
 		next, ok := c.db.NextEligible()
 		if !ok {
-			c.stats.FrontierEmptied = true
-			c.lg.frontier.Warn("frontier.exhausted", c.nowMs(),
-				trace.Int("known", int64(c.db.Known())))
+			c.markFrontierEmptied()
 			return false
 		}
 		// Everything pending is waiting out a backoff or breaker window:
@@ -536,9 +534,7 @@ func (c *Crawler) Step() bool {
 		}
 		list = c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
 		if len(list) == 0 {
-			c.stats.FrontierEmptied = true
-			c.lg.frontier.Warn("frontier.exhausted", c.nowMs(),
-				trace.Int("known", int64(c.db.Known())))
+			c.markFrontierEmptied()
 			return false
 		}
 	}
@@ -554,6 +550,19 @@ func (c *Crawler) Step() bool {
 	s := c.stats
 	c.live.Store(&s)
 	return true
+}
+
+// markFrontierEmptied records frontier exhaustion exactly once. The flag
+// and the pinned Warn both ride the checkpoint, so a resumed run that
+// immediately re-discovers the empty frontier must not re-emit the record
+// — the export would gain a duplicate relative to an uninterrupted run.
+func (c *Crawler) markFrontierEmptied() {
+	if c.stats.FrontierEmptied {
+		return
+	}
+	c.stats.FrontierEmptied = true
+	c.lg.frontier.Warn("frontier.exhausted", c.nowMs(),
+		trace.Int("known", int64(c.db.Known())))
 }
 
 // Finish freezes the crawl into a Result.

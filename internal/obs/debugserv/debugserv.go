@@ -191,14 +191,20 @@ func (o Options) traceByID(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(one.Text()))
 }
 
-// parseLogFilter maps /logs query parameters onto an evlog.Filter.
-func parseLogFilter(r *http.Request) evlog.Filter {
+// parseLogFilter maps /logs query parameters onto an evlog.Filter. A
+// level parameter that is present but unparsable is an error — falling
+// through to MinLevel=Debug would silently return the full log.
+func parseLogFilter(r *http.Request) (evlog.Filter, error) {
 	q := r.URL.Query()
 	f := evlog.Filter{
 		Component: q.Get("component"),
 		Msg:       q.Get("msg"),
 	}
-	if lv, ok := evlog.ParseLevel(q.Get("level")); ok {
+	if raw := q.Get("level"); raw != "" {
+		lv, ok := evlog.ParseLevel(raw)
+		if !ok {
+			return f, fmt.Errorf("bad level %q (want debug|info|warn|error)", raw)
+		}
 		f.MinLevel = lv
 	}
 	if id, err := trace.ParseID(q.Get("trace")); err == nil && id != 0 {
@@ -207,7 +213,7 @@ func parseLogFilter(r *http.Request) evlog.Filter {
 	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
 		f.Limit = n
 	}
-	return f
+	return f, nil
 }
 
 func (o Options) logs(w http.ResponseWriter, r *http.Request) {
@@ -215,7 +221,12 @@ func (o Options) logs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "logging off: no sink attached", http.StatusNotFound)
 		return
 	}
-	s := o.Logs.Snapshot().Filter(parseLogFilter(r))
+	f, err := parseLogFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s := o.Logs.Snapshot().Filter(f)
 	switch r.URL.Query().Get("format") {
 	case "json":
 		writeJSONBlob(w, s.JSON)

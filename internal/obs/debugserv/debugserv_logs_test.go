@@ -63,6 +63,11 @@ func TestLogsFilters(t *testing.T) {
 	if _, body := get(t, h, "/logs?format=logfmt"); !strings.Contains(body, "msg=fetch.error") {
 		t.Fatalf("logfmt format wrong:\n%s", body)
 	}
+	// A typo'd level must 400 rather than silently returning the full
+	// debug-level log.
+	if code, body := get(t, h, "/logs?level=warning"); code != 400 {
+		t.Fatalf("bad level not rejected: %d\n%s", code, body)
+	}
 	_, body := get(t, h, "/logs?format=json")
 	var doc struct {
 		Records []map[string]any `json:"records"`

@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 trace-golden log-golden doctor-golden verify
+.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 trace-golden log-golden doctor-golden shard-determinism verify
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ race:
 chaos:
 	$(GO) test -race -timeout 10m \
 		-run 'Chaos|Checkpoint|Resume|Fault|Quarantine|FailFast|OpRetries|Panic' \
-		./internal/synthweb/ ./internal/crawler/ ./internal/dataflow/
+		./internal/synthweb/ ./internal/crawler/ ./internal/crawler/shard/ ./internal/dataflow/
 
 # Short fuzzing sessions over the HTML pipeline (seeds alone run as part
 # of `make test`).
@@ -69,6 +69,15 @@ bench-pr5:
 	  $(GO) test -run=NONE -bench 'Execute' -benchtime 200x ./internal/dataflow/ ) | tee /tmp/bench_pr5.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr5.out > BENCH_PR5.json
 
+# Regenerate the committed sharded-crawl baseline (BENCH_PR6.json): a
+# 12k-page crawl budget against the ~1M-page synthetic web at DoP 1 and
+# DoP 4. The gated metric is virtual throughput (vdocs/s) on the
+# deterministic shard clocks, so one iteration per benchmark suffices
+# and the numbers are machine-independent (see bench_pr6_test.go).
+bench-pr6:
+	$(GO) test -run=NONE -bench 'ShardCrawl' -benchtime 1x ./internal/crawler/shard/ | tee /tmp/bench_pr6.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr6.out > BENCH_PR6.json
+
 # Golden-test the deterministic trace exports (text/JSON/Chrome byte
 # identity per seed) plus the lintx tracename fixture.
 trace-golden:
@@ -87,4 +96,12 @@ log-golden:
 doctor-golden:
 	$(GO) test ./internal/obs/doctor/ ./internal/obs/debugserv/ ./internal/obs/cliobs/
 
-verify: build test vet lint race chaos trace-golden log-golden doctor-golden
+# The sharded-crawl determinism harness: byte identity of the merged
+# corpus/metrics/trace/log exports across DoP 1 vs N, across reruns,
+# against the plain (unsharded) crawler, under chaos, and across a
+# checkpoint/resume cut (see internal/crawler/shard).
+shard-determinism:
+	$(GO) test -run 'Deterministic|Matches|Identical|Partition|Reshard' \
+		./internal/crawler/shard/
+
+verify: build test vet lint race chaos trace-golden log-golden doctor-golden shard-determinism

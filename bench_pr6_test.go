@@ -1,0 +1,64 @@
+package webtextie
+
+// Gate over the committed sharded-crawl baseline (BENCH_PR6.json,
+// regenerated with `make bench-pr6`). The two benchmarks run one crawl
+// plan — a 12k-page budget against a ~1M-page synthetic web — at DoP 1
+// and DoP 4. The gated metric is virtual throughput (vdocs/s): fetched
+// pages per virtual second, where a sharded fleet's duration is its
+// slowest shard's clock. Unlike wall time, the virtual clock is
+// deterministic and machine-independent, so the parallel-speedup claim
+// survives re-measurement on any hardware — including the single-core CI
+// box, where a wall-clock speedup gate would be meaningless.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// loadBenchMetrics reads a benchjson file as name -> full metric map
+// (loadBenchFile only surfaces ns/op; the PR6 gate needs the
+// b.ReportMetric domain metrics too).
+func loadBenchMetrics(t *testing.T, path string) map[string]map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := map[string]map[string]float64{}
+	for _, e := range b.Benchmarks {
+		out[e.Name] = e.Metrics
+	}
+	return out
+}
+
+// TestBenchPR6ShardSpeedupGate enforces the scale contract on the
+// committed numbers: the benched universe holds ~1M pages, both DoP
+// points crawled the full budget, and the 4-shard fleet's virtual
+// throughput is at least 2x the single shard's.
+func TestBenchPR6ShardSpeedupGate(t *testing.T) {
+	pr6 := loadBenchMetrics(t, "BENCH_PR6.json")
+	dop1, dop4 := pr6["BenchmarkShardCrawlDoP1"], pr6["BenchmarkShardCrawlDoP4"]
+	if dop1 == nil || dop4 == nil {
+		t.Fatal("BENCH_PR6.json is missing a DoP benchmark; regenerate with `make bench-pr6`")
+	}
+	for name, m := range map[string]map[string]float64{"DoP1": dop1, "DoP4": dop4} {
+		if m["webpages"] < 900_000 {
+			t.Errorf("%s ran against %.0f pages; the scale contract wants a ~1M-page web", name, m["webpages"])
+		}
+		if m["fetched"] < 12_000 {
+			t.Errorf("%s fetched %.0f pages; want the full 12k budget", name, m["fetched"])
+		}
+		if m["ns/op"] <= 0 || m["vdocs/s"] <= 0 {
+			t.Errorf("%s carries non-positive timings: %v", name, m)
+		}
+	}
+	if ratio := dop4["vdocs/s"] / dop1["vdocs/s"]; ratio < 2 {
+		t.Errorf("DoP 4 virtual throughput is only %.2fx DoP 1 (%.2f vs %.2f vdocs/s); the gate wants >= 2x",
+			ratio, dop4["vdocs/s"], dop1["vdocs/s"])
+	}
+}

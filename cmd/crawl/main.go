@@ -4,11 +4,21 @@
 // Usage:
 //
 //	crawl [-hosts N] [-pages N] [-seed N] [-tunnel N] [-threshold P] [-metrics]
+//	      [-shards N] [-shard-workers N]
 //	      [-failure-rate P] [-dead-hosts P] [-slow-hosts P] [-ratelimit-hosts P] [-truncate-rate P]
 //	      [-max-retries N] [-breaker-failures N] [-breaker-open-ms N]
 //	      [-checkpoint FILE -checkpoint-cycles N] [-resume FILE]
 //	      [-trace] [-trace-out FILE] [-trace-chrome FILE]
 //	      [-log] [-log-out FILE] [-doctor] [-debug-addr HOST:PORT]
+//
+// -shards N partitions the frontier by host hash into N shards, each with
+// its own crawldb, metric registry, trace recorder, and log sink, crawling
+// in BSP rounds on -shard-workers goroutines (default: one per shard).
+// The merged corpus, statistics, and observability exports are
+// byte-identical for any worker count; -pages becomes a fleet-wide budget
+// enforced at round barriers. -checkpoint/-resume write and read a fleet
+// manifest of per-shard checkpoints; the shard count must match on
+// resume. -debug-addr is not available in sharded mode.
 //
 // -trace attaches the deterministic lineage recorder; -trace-out /
 // -trace-chrome write its end-of-run export (text, or Perfetto-loadable
@@ -29,11 +39,16 @@ import (
 	"log"
 	"os"
 
+	"webtextie/internal/classify"
 	"webtextie/internal/corpora"
+	"webtextie/internal/crawldb"
 	"webtextie/internal/crawler"
+	"webtextie/internal/crawler/shard"
 	"webtextie/internal/graph"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/cliobs"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
 	"webtextie/internal/synthweb"
@@ -62,6 +77,8 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "write a checkpoint to FILE after -checkpoint-cycles cycles and exit")
 	ckptCycles := flag.Int("checkpoint-cycles", 5, "cycles to run before writing the -checkpoint file")
 	resumeFile := flag.String("resume", "", "resume the crawl from a checkpoint FILE (same seed/flags as the original run)")
+	shards := flag.Int("shards", 1, "partition the frontier by host hash into N shards crawling in parallel")
+	shardWorkers := flag.Int("shard-workers", 0, "goroutines stepping shards per round (0 = one per shard; any value gives identical output)")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -87,11 +104,18 @@ func main() {
 	// A resumed crawl takes its frontier from the checkpoint, so seed
 	// generation is skipped entirely: its URLs would go unused, and its
 	// log records would dirty the sink before WithLog loads the
-	// checkpoint's log snapshot (Load requires a fresh sink).
+	// checkpoint's log snapshot (Load requires a fresh sink). A sharded
+	// crawl logs into per-shard sinks, so its seed generation bypasses the
+	// process sink.
 	var seedURLs []string
 	if *resumeFile == "" {
 		catalog := seeds.BuildCatalog(*seed+3, lex, seeds.ScaledSizes(seeds.PaperSizes(), *termScale))
-		run := seeds.GenerateLogged(seeds.DefaultEngines(*seed+4, web), catalog, obsSetup.Logs)
+		var run seeds.Run
+		if *shards > 1 {
+			run = seeds.Generate(seeds.DefaultEngines(*seed+4, web), catalog)
+		} else {
+			run = seeds.GenerateLogged(seeds.DefaultEngines(*seed+4, web), catalog, obsSetup.Logs)
+		}
 		fmt.Printf("seed generation: %d terms -> %d queries -> %d seed URLs\n",
 			catalog.Total(), run.QueriesIssued, len(run.SeedURLs))
 		seedURLs = run.SeedURLs
@@ -103,6 +127,28 @@ func main() {
 	cfg.MaxRetries = *maxRetries
 	cfg.BreakerFailures = *breakerFails
 	cfg.BreakerOpenMs = *breakerOpenMs
+
+	if *shards > 1 {
+		if *obsFlags.DebugAddr != "" {
+			log.Fatal("crawl: -debug-addr is not available with -shards > 1 " +
+				"(live pillars are per-shard; use the merged end-of-run exports)")
+		}
+		runSharded(shardedOpts{
+			seed:         *seed,
+			webCfg:       webCfg,
+			crawlCfg:     cfg,
+			shards:       *shards,
+			workers:      *shardWorkers,
+			clf:          clf,
+			seedURLs:     seedURLs,
+			ckptFile:     *ckptFile,
+			ckptRounds:   *ckptCycles,
+			resumeFile:   *resumeFile,
+			printMetrics: *metrics,
+			obsSetup:     obsSetup,
+		})
+		return
+	}
 
 	// wire attaches every flagged observability surface to a constructed
 	// crawler and starts the live debug server around it.
@@ -179,8 +225,19 @@ func main() {
 		wire(c)
 		res = c.Run(seedURLs)
 	}
-	st := res.Stats
+	printReport(res.Stats, res.LinkDB)
 
+	finish()
+
+	if *metrics {
+		fmt.Println("\nmetric registry (obs)")
+		fmt.Print(obs.Default().Snapshot().Text())
+	}
+}
+
+// printReport renders the §4.1 crawl statistics and the Table 2 PageRank
+// top-10 — the shared tail of the unsharded and sharded paths.
+func printReport(st crawler.Stats, ldb *crawldb.LinkDB) {
 	fmt.Println("\ncrawl statistics (§4.1)")
 	fmt.Printf("  fetched:            %d pages in %d cycles\n", st.Fetched, st.Cycles)
 	fmt.Printf("  harvest rate:       %.1f%% by bytes, %.1f%% by docs (paper: 38%% / 19%%)\n",
@@ -199,20 +256,121 @@ func main() {
 	fmt.Printf("  circuit breakers:   %d opens, %d deferred fetches\n",
 		st.BreakerOpens, st.BreakerDeferred)
 
-	loc := graph.Locality(res.LinkDB)
+	loc := graph.Locality(ldb)
 	fmt.Printf("  link locality:      %.1f%% intra-host (%d edges)\n",
-		100*loc.IntraShare(), res.LinkDB.Edges())
+		100*loc.IntraShare(), ldb.Edges())
 
-	g := graph.FromLinkDB(res.LinkDB)
+	g := graph.FromLinkDB(ldb)
 	fmt.Println("\ntop-10 domains by PageRank (Table 2)")
 	for _, h := range graph.TopHosts(g.PageRank(0.85, 100, 1e-10), 10) {
 		fmt.Printf("  %-30s %.5f\n", h.Host, h.Rank)
 	}
+}
 
-	finish()
+// shardedOpts carries the flag state into the -shards > 1 path.
+type shardedOpts struct {
+	seed         uint64
+	webCfg       synthweb.Config
+	crawlCfg     crawler.Config
+	shards       int
+	workers      int
+	clf          *classify.NaiveBayes
+	seedURLs     []string
+	ckptFile     string
+	ckptRounds   int
+	resumeFile   string
+	printMetrics bool
+	obsSetup     *cliobs.Setup
+}
 
-	if *metrics {
-		fmt.Println("\nmetric registry (obs)")
-		fmt.Print(obs.Default().Snapshot().Text())
+// runSharded drives the fleet: partitioned frontier, BSP rounds, merged
+// exports. Each shard gets a private web instance (fresh generator, same
+// seeds) so no mutable state crosses shard boundaries; the degree of
+// parallelism cannot change any output byte.
+func runSharded(o shardedOpts) {
+	newWeb := func() *synthweb.Web {
+		lx := textgen.NewLexicon(rng.New(o.seed), textgen.DefaultLexiconSizes(), 0.75)
+		gn := textgen.NewGenerator(o.seed+1, lx, textgen.DefaultProfiles())
+		return synthweb.New(o.webCfg, gn)
+	}
+	scfg := shard.Config{Crawl: o.crawlCfg, Shards: o.shards, Parallelism: o.workers}
+
+	var runner *shard.Runner
+	if o.resumeFile != "" {
+		data, err := os.ReadFile(o.resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err := shard.UnmarshalCheckpoint(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner, err = shard.Resume(scfg, newWeb, o.clf, cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed fleet of %d shards from %s at round %d\n",
+			cp.Shards, o.resumeFile, cp.Rounds)
+	} else {
+		var err error
+		runner, err = shard.New(scfg, newWeb, o.clf)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if o.obsSetup.Traces != nil {
+		runner.WithTrace(trace.DefaultConfig(o.seed))
+	}
+	if o.obsSetup.Logs != nil {
+		runner.WithLog(evlog.DefaultConfig(o.seed))
+	}
+	if o.resumeFile == "" {
+		runner.Seed(o.seedURLs)
+	}
+
+	if o.ckptFile != "" {
+		for i := 0; i < o.ckptRounds && runner.Round(); i++ {
+		}
+		cp, err := runner.Checkpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := cp.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(o.ckptFile, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fleet checkpoint after %d rounds written to %s (%d shards, %d bytes)\n",
+			cp.Rounds, o.ckptFile, cp.Shards, len(data))
+		fmt.Printf("continue with: crawl -resume %s -shards %d (plus the same seed/fault/resilience flags)\n",
+			o.ckptFile, cp.Shards)
+		return
+	}
+
+	for runner.Round() {
+	}
+	res := runner.Finish()
+	workers := o.workers
+	if workers <= 0 {
+		workers = o.shards
+	}
+	fmt.Printf("sharded crawl: %d shards, %d workers, %d rounds\n",
+		o.shards, workers, res.Rounds)
+	printReport(res.Stats, res.LinkDB)
+
+	summary, err := o.obsSetup.FinishWith(res.Traces, res.Logs, res.Metrics)
+	if summary != "" {
+		fmt.Println()
+		fmt.Print(summary)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if o.printMetrics {
+		fmt.Println("\nmetric registry (merged shards)")
+		fmt.Print(res.Metrics.Text())
 	}
 }

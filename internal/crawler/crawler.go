@@ -300,6 +300,10 @@ type Crawler struct {
 	// relevant/irrelevant accumulate the two crawled corpora.
 	relevant, irrelevant []CrawledPage
 
+	// router, when set, intercepts frontier insertions for URLs whose host
+	// belongs to another shard (see WithRouter).
+	router func(url, host string, depth int) bool
+
 	stats Stats
 	m     *metrics
 	// resumeMetrics remembers the checkpoint's metric snapshot so that
@@ -417,6 +421,12 @@ func (c *Crawler) LiveStats() *Stats { return c.live.Load() }
 // TraceRecorder returns the attached recorder (nil when tracing is off).
 func (c *Crawler) TraceRecorder() *trace.Recorder { return c.rec }
 
+// CurrentStats returns a copy of the crawl statistics so far. Unlike
+// LiveStats it reads the crawl loop's own state, so call it only between
+// Step calls — the shard runner reads it at round barriers to enforce the
+// fleet-wide page budget.
+func (c *Crawler) CurrentStats() Stats { return c.stats }
+
 // WithEntityMatchers supplies the dictionary matchers the EntityBoost
 // extension consults (§5: crawling and text analytics as a consolidated
 // process). Returns the crawler for chaining.
@@ -438,10 +448,43 @@ func (c *Crawler) entityDensity(text string) float64 {
 	return 100 * float64(mentions) / float64(words)
 }
 
+// WithRouter installs a frontier router for sharded crawls: every URL
+// about to enter the frontier is offered to the router first, and a true
+// return means the URL belongs to another shard and was taken (queued as
+// cross-shard mail). The router runs before the trap, robots, and dedup
+// checks, so a routed URL's entire lifecycle — politeness, accounting,
+// retries, breakers — happens on its home shard. Returns the crawler for
+// chaining.
+func (c *Crawler) WithRouter(route func(url, host string, depth int) bool) *Crawler {
+	c.router = route
+	return c
+}
+
+// InjectURL offers one URL to the frontier through the same guarded path
+// seeds take — how a shard runner delivers cross-shard mail. Call it only
+// between Step calls (never mid-cycle).
+func (c *Crawler) InjectURL(url string, depth int) {
+	c.inject(url, depth)
+}
+
+// Pending returns the number of frontier URLs awaiting fetch. A shard
+// runner polls this to decide whether the shard still has work before
+// spending a Step on it.
+func (c *Crawler) Pending() int { return c.db.Pending() }
+
+// MarkFrontierEmptied records frontier exhaustion (stat flag plus the
+// once-only pinned Warn). A shard runner skips Step on empty shards — a
+// shard idle this round may receive mail the next — so Step never gets to
+// observe exhaustion itself; the runner calls this at true end of crawl.
+func (c *Crawler) MarkFrontierEmptied() { c.markFrontierEmptied() }
+
 // inject adds a URL to the frontier if robots and trap guards allow it.
 func (c *Crawler) inject(url string, depth int) {
 	host, path, err := synthweb.SplitURL(url)
 	if err != nil {
+		return
+	}
+	if c.router != nil && c.router(url, host, depth) {
 		return
 	}
 	if c.perHost[host] >= c.cfg.MaxPagesPerHost {

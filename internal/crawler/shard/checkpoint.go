@@ -1,0 +1,108 @@
+// Checkpoint/resume for the fleet: the runner freezes at a round barrier
+// — a consistent cut, since all mail is delivered before the barrier ends
+// — into one manifest holding every shard's own crawler checkpoint. A
+// shard (or the whole fleet) killed mid-round loses only that round;
+// resuming from the last barrier re-executes it deterministically, so the
+// resumed fleet's merged exports are byte-identical to an uninterrupted
+// run's.
+
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"webtextie/internal/classify"
+	"webtextie/internal/crawler"
+	"webtextie/internal/synthweb"
+)
+
+// Checkpoint is a sharded crawl frozen at a round barrier: the fleet
+// manifest plus one serialized crawler checkpoint per shard.
+type Checkpoint struct {
+	Shards  int  `json:"shards"`
+	Rounds  int  `json:"rounds"`
+	Stopped bool `json:"stopped"`
+	// Crawlers holds shard i's crawler.Checkpoint at index i.
+	Crawlers []json.RawMessage `json:"crawlers"`
+}
+
+// Checkpoint freezes the fleet. Call it between Round calls (never
+// mid-round): outboxes are empty at barriers, so no mail needs
+// serializing — the frontier state in each shard checkpoint is complete.
+func (r *Runner) Checkpoint() (*Checkpoint, error) {
+	cp := &Checkpoint{
+		Shards:   r.cfg.Shards,
+		Rounds:   r.rounds,
+		Stopped:  r.stopped,
+		Crawlers: make([]json.RawMessage, len(r.shards)),
+	}
+	for i, s := range r.shards {
+		data, err := s.c.Checkpoint().Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("shard: checkpointing shard %d: %w", i, err)
+		}
+		cp.Crawlers[i] = data
+	}
+	return cp, nil
+}
+
+// Marshal serializes the manifest to deterministic indented JSON.
+func (cp *Checkpoint) Marshal() ([]byte, error) {
+	return json.MarshalIndent(cp, "", "  ")
+}
+
+// UnmarshalCheckpoint parses a serialized fleet checkpoint.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// Resume rebuilds a fleet from a checkpoint. As with crawler.Resume, the
+// caller supplies the same config, web factory, and classifier as the
+// original run; the shard count must match the manifest (the partitioning
+// is part of the crawl plan — resharding a frontier is a data migration,
+// not a resume). Parallelism is free to differ: it is not part of the
+// crawl state. Attach observability with WithTrace/WithLog after Resume,
+// exactly as on a fresh runner — each shard then continues its
+// checkpointed trace and log streams.
+func Resume(cfg Config, newWeb func() *synthweb.Web, clf *classify.NaiveBayes, cp *Checkpoint) (*Runner, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards = %d, want >= 1", cfg.Shards)
+	}
+	if cfg.Shards != cp.Shards {
+		return nil, fmt.Errorf("shard: checkpoint has %d shards, config wants %d", cp.Shards, cfg.Shards)
+	}
+	if len(cp.Crawlers) != cp.Shards {
+		return nil, fmt.Errorf("shard: checkpoint holds %d crawler states for %d shards",
+			len(cp.Crawlers), cp.Shards)
+	}
+	if cfg.Crawl.SelfTraining {
+		return nil, fmt.Errorf("shard: SelfTraining mutates the shared classifier; run it unsharded")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = cfg.Shards
+	}
+	r := &Runner{cfg: cfg, clf: clf, shards: make([]*shardState, cfg.Shards)}
+	r.rounds = cp.Rounds
+	r.stopped = cp.Stopped
+	shardCfg := cfg.Crawl
+	shardCfg.MaxPages = 0
+	for i := range r.shards {
+		ccp, err := crawler.UnmarshalCheckpoint(cp.Crawlers[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: parsing shard %d checkpoint: %w", i, err)
+		}
+		s := &shardState{idx: i, web: newWeb(), outbox: make([][]mail, cfg.Shards)}
+		s.c, err = crawler.Resume(shardCfg, s.web, clf, ccp)
+		if err != nil {
+			return nil, fmt.Errorf("shard: resuming shard %d: %w", i, err)
+		}
+		r.installRouter(s)
+		r.shards[i] = s
+	}
+	return r, nil
+}

@@ -1,0 +1,166 @@
+// Merging: a sharded crawl ends with S private results; this file folds
+// them into one fleet-level Result deterministically. Every merge is
+// order-independent in substance (shards own disjoint URL and host
+// populations) and performed in shard-index order in form, so one fleet
+// always renders one byte sequence regardless of how many goroutines ran
+// the rounds.
+
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"webtextie/internal/crawldb"
+	"webtextie/internal/crawler"
+	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+)
+
+// Result is the merged output of a sharded crawl.
+type Result struct {
+	// Stats aggregates the fleet: additive fields sum across shards,
+	// VirtualMs is the maximum shard clock (shards run in parallel, so the
+	// fleet is done when its slowest shard is), Cycles counts fleet-wide
+	// generate/fetch cycles, and FrontierEmptied holds only when every
+	// shard drained.
+	Stats crawler.Stats
+	// Relevant and IrrelevantPages are the merged corpora in canonical
+	// (URL-sorted) order — shard interleaving has no meaningful global
+	// discovery order to preserve.
+	Relevant        []crawler.CrawledPage
+	IrrelevantPages []crawler.CrawledPage
+	// LinkDB is the union link graph (source pages are fetched on exactly
+	// one shard, so sources never conflict).
+	LinkDB *crawldb.LinkDB
+	// Metrics folds the per-shard registries with obs.Snapshot.Merge:
+	// counters and histograms sum; gauges sum too, so e.g. the merged
+	// crawler.virtual.ms gauge is the total shard-clock time (cost),
+	// while Stats.VirtualMs is the parallel makespan.
+	Metrics obs.Snapshot
+	// Traces is the merged trace export (nil when tracing was off).
+	Traces *trace.Snapshot
+	// Logs is the merged event-log export (nil when logging was off).
+	Logs *evlog.Snapshot
+	// PerShard holds each shard's own result, indexed by shard.
+	PerShard []*crawler.Result
+	// Rounds is the number of fleet supersteps executed.
+	Rounds int
+	// Stopped reports whether the fleet page budget ended the crawl.
+	Stopped bool
+}
+
+// Finish drains the fleet into a merged Result. When the crawl ended by
+// exhaustion (not the page budget), each drained shard records frontier
+// exhaustion first — the runner never lets a shard observe mid-crawl
+// emptiness (mail could still arrive), so the terminal mark happens here.
+func (r *Runner) Finish() *Result {
+	if !r.stopped {
+		for _, s := range r.shards {
+			if s.c.Pending() == 0 {
+				s.c.MarkFrontierEmptied()
+			}
+		}
+	}
+	perShard := make([]*crawler.Result, len(r.shards))
+	for i, s := range r.shards {
+		perShard[i] = s.c.Finish()
+	}
+	out := &Result{
+		LinkDB:   crawldb.NewLinkDB(),
+		PerShard: perShard,
+		Rounds:   r.rounds,
+		Stopped:  r.stopped,
+	}
+	for i, res := range perShard {
+		out.Stats = mergeStats(out.Stats, res.Stats, i == 0)
+		out.Relevant = append(out.Relevant, res.Relevant...)
+		out.IrrelevantPages = append(out.IrrelevantPages, res.IrrelevantPages...)
+		res.LinkDB.ForEach(func(src string, targets []string) {
+			out.LinkDB.AddLinks(src, targets)
+		})
+		if i == 0 {
+			out.Metrics = res.Metrics
+		} else {
+			out.Metrics = out.Metrics.Merge(res.Metrics)
+		}
+	}
+	sortCorpus(out.Relevant)
+	sortCorpus(out.IrrelevantPages)
+	if r.shards[0].rec != nil {
+		snaps := make([]*trace.Snapshot, len(r.shards))
+		for i, s := range r.shards {
+			snaps[i] = s.rec.Snapshot()
+		}
+		out.Traces = trace.Merge(snaps...)
+	}
+	if perShard[0].Logs != nil {
+		snaps := make([]*evlog.Snapshot, len(perShard))
+		for i, res := range perShard {
+			snaps[i] = res.Logs
+		}
+		out.Logs = evlog.Merge(snaps...)
+	}
+	return out
+}
+
+// mergeStats folds one shard's stats into the fleet aggregate.
+func mergeStats(acc, s crawler.Stats, first bool) crawler.Stats {
+	out := acc
+	out.Fetched += s.Fetched
+	out.FetchErrors += s.FetchErrors
+	out.RobotsBlocked += s.RobotsBlocked
+	out.FilteredMIME += s.FilteredMIME
+	out.FilteredLang += s.FilteredLang
+	out.FilteredLength += s.FilteredLength
+	out.Relevant += s.Relevant
+	out.Irrelevant += s.Irrelevant
+	out.RelevantBytes += s.RelevantBytes
+	out.IrrelevantBytes += s.IrrelevantBytes
+	out.EntityBoosted += s.EntityBoosted
+	out.SelfTrainUpdates += s.SelfTrainUpdates
+	out.Cycles += s.Cycles
+	out.Retries += s.Retries
+	out.RetriesExhausted += s.RetriesExhausted
+	out.RateLimited += s.RateLimited
+	out.BreakerOpens += s.BreakerOpens
+	out.BreakerDeferred += s.BreakerDeferred
+	if s.VirtualMs > out.VirtualMs {
+		out.VirtualMs = s.VirtualMs
+	}
+	if first {
+		out.FrontierEmptied = s.FrontierEmptied
+	} else {
+		out.FrontierEmptied = out.FrontierEmptied && s.FrontierEmptied
+	}
+	return out
+}
+
+// sortCorpus puts a merged corpus into canonical URL order (URLs are
+// unique across shards, so the order is total).
+func sortCorpus(pages []crawler.CrawledPage) {
+	sort.Slice(pages, func(i, j int) bool { return pages[i].URL < pages[j].URL })
+}
+
+// CorpusManifest renders the merged corpora as one canonical line per
+// page — URL, raw size, gold label, and an FNV-1a digest of the extracted
+// net text — relevant pages first, each group URL-sorted. Two crawls
+// stored identical corpora iff their manifests are byte-identical; the
+// determinism and checkpoint suites compare this form.
+func (res *Result) CorpusManifest() string {
+	var b strings.Builder
+	render := func(class string, pages []crawler.CrawledPage) {
+		for _, p := range pages {
+			h := fnv.New64a()
+			h.Write([]byte(p.NetText))
+			fmt.Fprintf(&b, "%s %s bytes=%d gold=%t text=%016x\n",
+				class, p.URL, p.Bytes, p.GoldRelevant, h.Sum64())
+		}
+	}
+	render("rel", res.Relevant)
+	render("irr", res.IrrelevantPages)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"webtextie/internal/rng"
+	"webtextie/internal/synthweb"
+)
+
+// hostNames enumerates a mixed population of plausible host names, seeded
+// so the property tests are reproducible.
+func hostNames(n int) []string {
+	r := rng.New(99)
+	tlds := []string{"com", "org", "edu", "gov", "net", "io"}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("host-%d-%d.%s", i, r.Intn(1<<20), tlds[r.Intn(len(tlds))]))
+	}
+	return out
+}
+
+// The partition must be total (every host gets a shard in range) and
+// stable (the same host always gets the same shard), for every shard
+// count.
+func TestPartitionTotalAndStable(t *testing.T) {
+	hosts := hostNames(2000)
+	for _, shards := range []int{1, 2, 3, 4, 7, 16, 64} {
+		for _, h := range hosts {
+			got := Of(h, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("Of(%q, %d) = %d, out of range", h, shards, got)
+			}
+			if again := Of(h, shards); again != got {
+				t.Fatalf("Of(%q, %d) unstable: %d then %d", h, shards, got, again)
+			}
+		}
+	}
+}
+
+// The assignment is pure in the FNV-1a hash: shard = fnv64a(host) mod N.
+// Pinning the formula (not just the behaviour) keeps checkpoints portable
+// — a resumed fleet must agree with the original about host ownership.
+func TestPartitionIsFNVModulo(t *testing.T) {
+	for _, h := range hostNames(500) {
+		hash := fnv.New64a()
+		hash.Write([]byte(h))
+		want := int(hash.Sum64() % 8)
+		if got := Of(h, 8); got != want {
+			t.Fatalf("Of(%q, 8) = %d, want fnv64a mod 8 = %d", h, got, want)
+		}
+	}
+}
+
+// Every URL of a host must land on the host's shard — the property that
+// keeps politeness, trap guards, retries, and breakers shard-local.
+func TestPartitionKeysOnHostOnly(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	web := e.newWeb()
+	for _, h := range web.Hosts {
+		want := Of(h.Name, 4)
+		for idx := 0; idx < h.Pages; idx += 1 + h.Pages/7 {
+			u := synthweb.PageURL(h.Name, idx)
+			host, _, err := synthweb.SplitURL(u)
+			if err != nil {
+				t.Fatalf("SplitURL(%q): %v", u, err)
+			}
+			if got := Of(host, 4); got != want {
+				t.Fatalf("URL %q hashed to shard %d, its host to %d", u, got, want)
+			}
+		}
+	}
+}
+
+// Resharding N -> M moves exactly the hosts whose hash demands it:
+// a host relocates iff fnv64a(host) mod M differs from mod N, and hosts
+// that stay put stay because the arithmetic says so — there is no hidden
+// order- or history-dependent state in the assignment.
+func TestReshardingMovesOnlyHashDemandedHosts(t *testing.T) {
+	hosts := hostNames(3000)
+	pairs := [][2]int{{1, 4}, {4, 8}, {4, 5}, {8, 3}, {16, 4}}
+	for _, p := range pairs {
+		n, m := p[0], p[1]
+		moved := 0
+		for _, h := range hosts {
+			hash := fnv.New64a()
+			hash.Write([]byte(h))
+			sum := hash.Sum64()
+			before, after := Of(h, n), Of(h, m)
+			wantBefore, wantAfter := int(sum%uint64(n)), int(sum%uint64(m))
+			if n == 1 {
+				wantBefore = 0
+			}
+			if m == 1 {
+				wantAfter = 0
+			}
+			if before != wantBefore || after != wantAfter {
+				t.Fatalf("reshard %d->%d: host %q assignments (%d,%d) disagree with hash (%d,%d)",
+					n, m, h, before, after, wantBefore, wantAfter)
+			}
+			if before != after {
+				moved++
+			}
+		}
+		if m > 1 && n != m && moved == 0 {
+			t.Errorf("reshard %d->%d moved no hosts out of %d — suspicious for a modulo change",
+				n, m, len(hosts))
+		}
+	}
+}
+
+// With enough hosts, every shard of a small fleet owns a non-trivial
+// slice of the population (FNV-1a spreads host names roughly uniformly).
+func TestPartitionBalance(t *testing.T) {
+	hosts := hostNames(4000)
+	const shards = 4
+	var counts [shards]int
+	for _, h := range hosts {
+		counts[Of(h, shards)]++
+	}
+	for i, c := range counts {
+		if c < len(hosts)/shards/2 {
+			t.Errorf("shard %d owns %d of %d hosts — worse than half the fair share", i, c, len(hosts))
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package shard runs the focused crawler horizontally partitioned, the
+// way the paper's production crawl ran on a cluster (§4.1): the URL space
+// is split by FNV host hash into S shards, each shard owns a complete
+// crawler — its own frontier, CrawlDB, politeness clocks, circuit
+// breakers, metric registry, trace recorder, and event-log sink — and the
+// fleet advances in BSP-style rounds. Within a round every shard with
+// pending work executes one generate/fetch/update cycle; links that leave
+// a shard's host partition are not injected locally but queued as mail,
+// and at the round barrier all mail is delivered in deterministic
+// (destination, source, discovery) order.
+//
+// Because a host's URLs all hash to one shard, everything host-scoped —
+// robots politeness, spider-trap guards, retry backoff, circuit breakers
+// — stays shard-local by construction. Shards share only read-only state
+// (the trained classifier, entity dictionaries); each gets a private
+// *synthweb.Web (and generator) from the caller's factory, so no mutable
+// state crosses a shard boundary. That isolation is what makes the degree
+// of parallelism invisible: running the same S-shard plan with 1 worker
+// or S workers executes identical per-shard histories, and the merged
+// corpus, metrics, trace, and log exports are byte-identical — the
+// property the determinism suite pins.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"webtextie/internal/classify"
+	"webtextie/internal/crawler"
+	"webtextie/internal/ie/dict"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+	"webtextie/internal/synthweb"
+	"webtextie/internal/textgen"
+)
+
+// Of returns the shard owning a host: FNV-1a over the host name, modulo
+// the shard count. The assignment is a pure function of (host, shards) —
+// independent of discovery order, stable across runs and resumes.
+func Of(host string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(host))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Config controls a sharded crawl.
+type Config struct {
+	// Crawl is the per-shard crawler configuration. MaxPages is the
+	// fleet-wide budget: it is enforced at round barriers against the sum
+	// of shard fetch counts, so the fleet may overshoot by at most one
+	// round (<= Shards * FetchListSize pages).
+	Crawl crawler.Config
+	// Shards is the number of frontier partitions S. The partitioning is
+	// part of the crawl plan: changing S changes which virtual clock each
+	// host's fetches land on, so byte identity holds across degrees of
+	// parallelism for a fixed S, not across different S.
+	Shards int
+	// Parallelism is the number of OS goroutines executing shard steps
+	// within a round (the DoP). It bounds resource use only — any value
+	// produces identical results. 0 means Shards.
+	Parallelism int
+}
+
+// mail is one cross-shard frontier insertion, queued at discovery and
+// delivered at the round barrier.
+type mail struct {
+	URL   string
+	Depth int
+}
+
+// shardState is one shard of the fleet.
+type shardState struct {
+	idx int
+	c   *crawler.Crawler
+	web *synthweb.Web
+	rec *trace.Recorder
+	// outbox[d] holds this round's mail for shard d in discovery order.
+	outbox [][]mail
+}
+
+// Runner drives a sharded crawl in rounds.
+type Runner struct {
+	cfg    Config
+	clf    *classify.NaiveBayes
+	shards []*shardState
+
+	rounds   int
+	stopped  bool // fleet page budget reached
+	finished bool // every frontier drained
+}
+
+// New builds a sharded crawl over Shards private webs from the factory.
+// The factory must return identically-constructed, mutually independent
+// webs (same config and seed, fresh generator per call) — each shard
+// fetches only from its own instance, so the universes must agree and
+// must not share mutable state. The classifier is shared read-only;
+// SelfTraining is rejected because it would make shards race on model
+// updates and break the DoP-independence contract.
+func New(cfg Config, newWeb func() *synthweb.Web, clf *classify.NaiveBayes) (*Runner, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards = %d, want >= 1", cfg.Shards)
+	}
+	if cfg.Crawl.SelfTraining {
+		return nil, fmt.Errorf("shard: SelfTraining mutates the shared classifier; run it unsharded")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = cfg.Shards
+	}
+	r := &Runner{cfg: cfg, clf: clf, shards: make([]*shardState, cfg.Shards)}
+	shardCfg := cfg.Crawl
+	shardCfg.MaxPages = 0 // the fleet budget is enforced at round barriers
+	for i := range r.shards {
+		s := &shardState{idx: i, web: newWeb(), outbox: make([][]mail, cfg.Shards)}
+		s.c = crawler.New(shardCfg, s.web, clf)
+		r.installRouter(s)
+		r.shards[i] = s
+	}
+	return r, nil
+}
+
+// installRouter points a shard's crawler at the fleet: URLs whose host
+// hashes elsewhere leave the local frontier path and queue as mail.
+func (r *Runner) installRouter(s *shardState) {
+	shards := r.cfg.Shards
+	s.c.WithRouter(func(url, host string, depth int) bool {
+		d := Of(host, shards)
+		if d == s.idx {
+			return false
+		}
+		s.outbox[d] = append(s.outbox[d], mail{URL: url, Depth: depth})
+		return true
+	})
+}
+
+// WithTrace attaches one trace recorder per shard, all bounded by cfg.
+// Shards trace disjoint URL populations, so per-shard recorders with the
+// same seed mint non-colliding IDs; Finish merges the snapshots in shard
+// order. On a resumed runner each recorder loads its shard's checkpoint
+// snapshot. Returns the runner for chaining.
+func (r *Runner) WithTrace(cfg trace.Config) *Runner {
+	for _, s := range r.shards {
+		s.rec = trace.NewRecorder(cfg)
+		s.c.WithTrace(s.rec)
+	}
+	return r
+}
+
+// WithLog attaches one event-log sink per shard, all bounded by cfg.
+// Finish merges the snapshots into one canonical export. On a resumed
+// runner each sink loads its shard's checkpoint snapshot. Returns the
+// runner for chaining.
+func (r *Runner) WithLog(cfg evlog.Config) *Runner {
+	for _, s := range r.shards {
+		s.c.WithLog(evlog.NewSink(cfg))
+	}
+	return r
+}
+
+// WithEntityMatchers shares the read-only entity dictionaries with every
+// shard (the EntityBoost extension). Returns the runner for chaining.
+func (r *Runner) WithEntityMatchers(m map[textgen.EntityType]*dict.Matcher) *Runner {
+	for _, s := range r.shards {
+		s.c.WithEntityMatchers(m)
+	}
+	return r
+}
+
+// Shard returns shard i's crawler (tests inspect per-shard state).
+func (r *Runner) Shard(i int) *crawler.Crawler { return r.shards[i].c }
+
+// Rounds returns the number of completed rounds.
+func (r *Runner) Rounds() int { return r.rounds }
+
+// Stopped reports whether the fleet page budget ended the crawl (false
+// means the frontiers drained).
+func (r *Runner) Stopped() bool { return r.stopped }
+
+// Seed partitions the seed list across shards by host hash, preserving
+// list order within each shard. URLs that do not parse go to shard 0,
+// whose injector discards them — the same silent drop an unsharded crawl
+// applies.
+func (r *Runner) Seed(seedURLs []string) {
+	for _, u := range seedURLs {
+		d := 0
+		if host, _, err := synthweb.SplitURL(u); err == nil {
+			d = Of(host, r.cfg.Shards)
+		}
+		r.shards[d].c.InjectURL(u, 0)
+	}
+}
+
+// Round executes one fleet superstep — every shard with pending work runs
+// one crawl cycle, then all cross-shard mail is delivered — and reports
+// whether the crawl should continue. Steps run on up to Parallelism
+// goroutines; shards touch no shared mutable state, so the interleaving
+// cannot influence any shard's history.
+func (r *Runner) Round() bool {
+	if r.stopped || r.finished {
+		return false
+	}
+	var active []*shardState
+	for _, s := range r.shards {
+		if s.c.Pending() > 0 {
+			active = append(active, s)
+		}
+	}
+	if len(active) == 0 {
+		r.finished = true
+		return false
+	}
+	r.runSteps(active)
+	r.deliverMail()
+	r.rounds++
+	if max := r.cfg.Crawl.MaxPages; max > 0 && r.totalFetched() >= max {
+		r.stopped = true
+		return false
+	}
+	for _, s := range r.shards {
+		if s.c.Pending() > 0 {
+			return true
+		}
+	}
+	r.finished = true
+	return false
+}
+
+// runSteps executes one Step per active shard across the worker pool and
+// barriers on completion.
+func (r *Runner) runSteps(active []*shardState) {
+	workers := r.cfg.Parallelism
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers <= 1 {
+		for _, s := range active {
+			s.c.Step()
+		}
+		return
+	}
+	work := make(chan *shardState)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				s.c.Step()
+			}
+		}()
+	}
+	for _, s := range active {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+// deliverMail drains every outbox in (destination, source, discovery)
+// order — a fixed order, so frontier insertion sequences are identical
+// across runs and degrees of parallelism.
+func (r *Runner) deliverMail() {
+	for dst := range r.shards {
+		for _, src := range r.shards {
+			for _, m := range src.outbox[dst] {
+				r.shards[dst].c.InjectURL(m.URL, m.Depth)
+			}
+			src.outbox[dst] = src.outbox[dst][:0]
+		}
+	}
+}
+
+// totalFetched sums fetched pages across the fleet (read at barriers).
+func (r *Runner) totalFetched() int {
+	total := 0
+	for _, s := range r.shards {
+		total += s.c.CurrentStats().Fetched
+	}
+	return total
+}
+
+// Run executes the sharded crawl to completion: seed, rounds until the
+// budget or the frontiers end it, merge.
+func (r *Runner) Run(seedURLs []string) *Result {
+	r.Seed(seedURLs)
+	for r.Round() {
+	}
+	return r.Finish()
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"webtextie/internal/classify"
+	"webtextie/internal/crawler"
+	"webtextie/internal/rng"
+	"webtextie/internal/seeds"
+	"webtextie/internal/synthweb"
+	"webtextie/internal/textgen"
+)
+
+// env bundles a sharded crawl environment: a web *factory* (each shard
+// needs its own universe instance — synthweb counts fetches and the
+// generator draws from pooled RNGs, neither of which may be shared across
+// shard goroutines), a shared read-only classifier, and a seed list.
+type env struct {
+	webCfg synthweb.Config
+	lex    *textgen.Lexicon
+	clf    *classify.NaiveBayes
+	seeds  []string
+}
+
+// newWeb builds one private universe instance. Every call constructs a
+// fresh lexicon and generator from the same seeds, so all instances are
+// identical by construction yet share no mutable state.
+func (e *env) newWeb() *synthweb.Web {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 500, Drugs: 150, Diseases: 150}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	return synthweb.New(e.webCfg, gen)
+}
+
+func newEnv(t testing.TB, hosts int, mutate func(*synthweb.Config)) *env {
+	t.Helper()
+	e := &env{}
+	e.webCfg = synthweb.DefaultConfig()
+	e.webCfg.NumHosts = hosts
+	if mutate != nil {
+		mutate(&e.webCfg)
+	}
+
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 500, Drugs: 150, Diseases: 150}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	e.lex = lex
+	e.clf = classify.New()
+	r := rng.New(3)
+	for i := 0; i < 300; i++ {
+		e.clf.Learn(gen.Doc(r, textgen.Medline, fmt.Sprint("m", i)).Text, classify.Relevant)
+		e.clf.Learn(gen.Doc(r, textgen.Irrelevant, fmt.Sprint("w", i)).Text, classify.Irrelevant)
+	}
+
+	catalog := seeds.BuildCatalog(4, lex, seeds.CatalogSizes{General: 10, Disease: 60, Drug: 40, Gene: 80})
+	e.seeds = seeds.Generate(seeds.DefaultEngines(5, e.newWeb()), catalog).SeedURLs
+	return e
+}
+
+func TestRunnerRejectsBadConfig(t *testing.T) {
+	e := newEnv(t, 20, nil)
+	if _, err := New(Config{Crawl: crawler.DefaultConfig(), Shards: 0}, e.newWeb, e.clf); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	cfg := crawler.DefaultConfig()
+	cfg.SelfTraining = true
+	if _, err := New(Config{Crawl: cfg, Shards: 2}, e.newWeb, e.clf); err == nil {
+		t.Error("SelfTraining accepted in sharded mode")
+	}
+}
+
+func TestShardedCrawlCoversFleet(t *testing.T) {
+	e := newEnv(t, 100, nil)
+	cfg := Config{Crawl: crawler.DefaultConfig(), Shards: 4}
+	cfg.Crawl.MaxPages = 600
+	r, err := New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run(e.seeds)
+	if !res.Stopped {
+		t.Error("600-page budget did not stop the fleet")
+	}
+	if res.Stats.Fetched < 600 {
+		t.Errorf("fetched %d pages, want >= budget 600", res.Stats.Fetched)
+	}
+	if over := res.Stats.Fetched - 600; over > cfg.Shards*cfg.Crawl.FetchListSize {
+		t.Errorf("budget overshoot %d exceeds one round (%d)", over, cfg.Shards*cfg.Crawl.FetchListSize)
+	}
+	if len(res.Relevant) == 0 || len(res.IrrelevantPages) == 0 {
+		t.Fatalf("merged corpora empty: %d relevant, %d irrelevant",
+			len(res.Relevant), len(res.IrrelevantPages))
+	}
+	if res.Stats.Relevant != len(res.Relevant) || res.Stats.Irrelevant != len(res.IrrelevantPages) {
+		t.Error("merged stats and corpora sizes disagree")
+	}
+	// More than one shard must have participated: seeds spread over many
+	// hosts, and host hashing spreads hosts over shards.
+	working := 0
+	for _, ps := range res.PerShard {
+		if ps.Stats.Fetched > 0 {
+			working++
+		}
+	}
+	if working < 2 {
+		t.Errorf("only %d of %d shards fetched anything", working, cfg.Shards)
+	}
+	// URL-sorted canonical corpus order, no duplicates across shards.
+	for i := 1; i < len(res.Relevant); i++ {
+		if res.Relevant[i-1].URL >= res.Relevant[i].URL {
+			t.Fatalf("merged corpus not strictly URL-sorted at %d: %q >= %q",
+				i, res.Relevant[i-1].URL, res.Relevant[i].URL)
+		}
+	}
+}

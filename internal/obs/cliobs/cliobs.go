@@ -96,12 +96,29 @@ func (s *Setup) Serve(progress func() any) (string, error) {
 // Finish writes the -trace-out / -trace-chrome / -log-out export files
 // and returns the end-of-run summary (trace tallies, event-log tallies,
 // and the -doctor report), ready for the command to print. Empty when
-// every observability flag was off.
+// every observability flag was off. It snapshots this setup's live
+// pillars and the process metric registry; a command whose pillar state
+// lives elsewhere (the sharded crawl merges per-shard snapshots) calls
+// FinishWith directly.
 func (s *Setup) Finish() (string, error) {
-	var b strings.Builder
 	var traceSnap *trace.Snapshot
 	if s.Traces != nil {
 		traceSnap = s.Traces.Snapshot()
+	}
+	var logSnap *evlog.Snapshot
+	if s.Logs != nil {
+		logSnap = s.Logs.Snapshot()
+	}
+	return s.FinishWith(traceSnap, logSnap, obs.Default().Snapshot())
+}
+
+// FinishWith is Finish over caller-supplied snapshots: the same export
+// files, tallies, and -doctor report, but rendered from the given trace
+// and log snapshots and diagnosing the given metric snapshot. Nil pillar
+// snapshots are treated as "flag off".
+func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, metrics obs.Snapshot) (string, error) {
+	var b strings.Builder
+	if traceSnap != nil {
 		counts := traceSnap.ErrClassCounts()
 		fmt.Fprintf(&b, "traces: %d retained", len(traceSnap.Traces))
 		for _, cl := range trace.SortedErrClasses(counts) {
@@ -125,9 +142,7 @@ func (s *Setup) Finish() (string, error) {
 			fmt.Fprintf(&b, "trace export (Perfetto) written to %s\n", *s.f.TraceChrome)
 		}
 	}
-	var logSnap *evlog.Snapshot
-	if s.Logs != nil {
-		logSnap = s.Logs.Snapshot()
+	if logSnap != nil {
 		fmt.Fprintf(&b, "event log: %d records retained (%d emitted", len(logSnap.Records), logSnap.Stats.Emitted)
 		levels := logSnap.LevelCounts()
 		for _, lv := range []evlog.Level{evlog.Debug, evlog.Info, evlog.Warn, evlog.Error} {
@@ -145,7 +160,7 @@ func (s *Setup) Finish() (string, error) {
 	}
 	if *s.f.DoctorOn {
 		rep := doctor.Diagnose(doctor.Input{
-			Metrics: obs.Default().Snapshot(),
+			Metrics: metrics,
 			Traces:  traceSnap,
 			Logs:    logSnap,
 		})

@@ -1,0 +1,40 @@
+package evlog
+
+import "webtextie/internal/obs/trace"
+
+// Merge folds per-shard snapshots into one export-ready snapshot: the
+// record union re-sorted into the canonical (AtMs, line) order, totals
+// and loss counters summed. The result is deterministic in the record
+// multisets alone — shards emit on independent virtual clocks, so there
+// is no meaningful global emission order to preserve, and the canonical
+// sort gives every fleet exactly one byte rendering.
+//
+// Rate-bucket states are dropped: token budgets are per-shard throttle
+// state, not fleet observables, and a merged snapshot is an export
+// surface, not a resume point (resume goes through the per-shard
+// checkpoints, each carrying its own snapshot).
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Records: []Record{}}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, r := range s.Records {
+			r.Attrs = append([]trace.Attr(nil), r.Attrs...)
+			out.Records = append(out.Records, r)
+		}
+		for k, v := range s.Totals {
+			if out.Totals == nil {
+				out.Totals = map[string]uint64{}
+			}
+			out.Totals[k] += v
+		}
+		out.Stats.Emitted += s.Stats.Emitted
+		out.Stats.DroppedSampled += s.Stats.DroppedSampled
+		out.Stats.DroppedRated += s.Stats.DroppedRated
+		out.Stats.DroppedRetention += s.Stats.DroppedRetention
+		out.Stats.PinDropped += s.Stats.PinDropped
+	}
+	sortRecords(out.Records)
+	return out
+}

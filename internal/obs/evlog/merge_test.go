@@ -1,0 +1,93 @@
+package evlog
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/trace"
+)
+
+// sinkWith emits n info records from one component at the given times.
+func sinkWith(component string, times ...int64) *Sink {
+	s := NewSink(DefaultConfig(1))
+	l := s.Logger(component)
+	for _, at := range times {
+		l.Info("unit.event", at)
+	}
+	return s
+}
+
+func TestMergeInterleavesByTime(t *testing.T) {
+	a := sinkWith("shard0", 10, 30, 50).Snapshot()
+	b := sinkWith("shard1", 20, 40).Snapshot()
+	m := Merge(a, b)
+
+	if len(m.Records) != 5 {
+		t.Fatalf("merged %d records, want 5", len(m.Records))
+	}
+	want := []struct {
+		at        int64
+		component string
+	}{{10, "shard0"}, {20, "shard1"}, {30, "shard0"}, {40, "shard1"}, {50, "shard0"}}
+	for i, w := range want {
+		r := m.Records[i]
+		if r.AtMs != w.at || r.Component != w.component {
+			t.Errorf("record %d = (%d, %s), want (%d, %s)", i, r.AtMs, r.Component, w.at, w.component)
+		}
+	}
+}
+
+func TestMergeIsOrderIndependent(t *testing.T) {
+	a := sinkWith("shard0", 10, 20, 20).Snapshot()
+	b := sinkWith("shard1", 20, 15).Snapshot()
+	ab, ba := Merge(a, b), Merge(b, a)
+	if ab.Logfmt() != ba.Logfmt() {
+		t.Error("merge order changed the canonical export")
+	}
+	abJSON, err := ab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baJSON, err := ba.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(abJSON) != string(baJSON) {
+		t.Error("merge order changed the JSON export")
+	}
+}
+
+func TestMergeSumsTotalsAndStats(t *testing.T) {
+	a := sinkWith("shard0", 10, 20).Snapshot()
+	b := sinkWith("shard0", 30).Snapshot()
+	b.Stats.DroppedRetention = 4
+	m := Merge(a, b)
+
+	if m.Stats.Emitted != a.Stats.Emitted+b.Stats.Emitted {
+		t.Errorf("merged Emitted = %d, want %d", m.Stats.Emitted, a.Stats.Emitted+b.Stats.Emitted)
+	}
+	if m.Stats.DroppedRetention != 4 {
+		t.Errorf("merged DroppedRetention = %d, want 4", m.Stats.DroppedRetention)
+	}
+	for k, v := range a.Totals {
+		if m.Totals[k] != v+b.Totals[k] {
+			t.Errorf("merged total %q = %d, want %d", k, m.Totals[k], v+b.Totals[k])
+		}
+	}
+}
+
+func TestMergeDeepCopiesAttrsAndSkipsNil(t *testing.T) {
+	s := NewSink(DefaultConfig(1))
+	s.Logger("shard0").Info("unit.event", 5, trace.String("k", "orig"))
+	a := s.Snapshot()
+	m := Merge(nil, a)
+	if len(m.Records) != 1 {
+		t.Fatalf("merged %d records, want 1", len(m.Records))
+	}
+	m.Records[0].Attrs[0].Value = "mutated"
+	if a.Records[0].Attrs[0].Value == "mutated" {
+		t.Error("mutating the merged snapshot reached the input snapshot")
+	}
+	if empty := Merge(); len(empty.Records) != 0 || empty.Stats.Emitted != 0 {
+		t.Errorf("empty merge = %+v, want zero snapshot", empty)
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+// Merge folds per-shard snapshots into one export-ready snapshot. Shards
+// trace disjoint key populations (a URL's host hashes to exactly one
+// shard), so the union is a simple concatenation; what needs care is the
+// StartIndex sequence, which is per-recorder. Merge renumbers shard i's
+// indices by the cumulative StartSeq of shards 0..i-1, keeping indices
+// unique and order-preserving within each shard, and sums the sequence
+// and loss counters — the merged snapshot Loads into a fresh recorder and
+// exports deterministically. Marks concatenate in shard order.
+//
+// The merge is deterministic in the argument order: callers pass shards
+// in index order so one fleet always renders one byte sequence.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Traces: []*Trace{}}
+	var base uint64
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, t := range s.Traces {
+			cp := copyTrace(t)
+			cp.StartIndex += base
+			out.Traces = append(out.Traces, cp)
+		}
+		for _, m := range s.Marks {
+			out.Marks = append(out.Marks, Mark{
+				Name:  m.Name,
+				AtMs:  m.AtMs,
+				Attrs: append([]Attr(nil), m.Attrs...),
+			})
+		}
+		base += s.StartSeq
+		out.Stats.Dropped += s.Stats.Dropped
+		out.Stats.DroppedActive += s.Stats.DroppedActive
+		out.Stats.PinDropped += s.Stats.PinDropped
+	}
+	out.StartSeq = base
+	return out
+}

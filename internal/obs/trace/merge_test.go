@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// recorderWith starts and finishes n traces with the given key prefix and
+// returns the recorder.
+func recorderWith(seed uint64, prefix string, n int) *Recorder {
+	r := NewRecorder(DefaultConfig(seed))
+	for i := 0; i < n; i++ {
+		at := int64(10 * (i + 1))
+		ctx := r.Start("fetch", prefix+string(rune('a'+i)), at)
+		ctx.End(at + 5)
+		ctx.Finish(at + 5)
+	}
+	return r
+}
+
+func TestMergeRenumbersStartIndexes(t *testing.T) {
+	a := recorderWith(1, "a/", 3).Snapshot()
+	b := recorderWith(1, "b/", 4).Snapshot()
+	m := Merge(a, b)
+
+	if m.StartSeq != a.StartSeq+b.StartSeq {
+		t.Fatalf("merged StartSeq = %d, want %d", m.StartSeq, a.StartSeq+b.StartSeq)
+	}
+	if len(m.Traces) != len(a.Traces)+len(b.Traces) {
+		t.Fatalf("merged %d traces, want %d", len(m.Traces), len(a.Traces)+len(b.Traces))
+	}
+	// Shard 0 keeps its indexes; shard 1 is rebased past shard 0's full
+	// start sequence; the concatenation is sorted by StartIndex.
+	for i, tr := range m.Traces {
+		if i > 0 && m.Traces[i-1].StartIndex >= tr.StartIndex {
+			t.Fatalf("merged traces not strictly ordered at %d", i)
+		}
+	}
+	for i, tr := range a.Traces {
+		if m.Traces[i].StartIndex != tr.StartIndex {
+			t.Errorf("shard-0 trace %d renumbered: %d -> %d", i, tr.StartIndex, m.Traces[i].StartIndex)
+		}
+	}
+	for i, tr := range b.Traces {
+		if got, want := m.Traces[len(a.Traces)+i].StartIndex, tr.StartIndex+a.StartSeq; got != want {
+			t.Errorf("shard-1 trace %d index = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMergeIsDeepCopy(t *testing.T) {
+	a := recorderWith(1, "a/", 2).Snapshot()
+	m := Merge(a, recorderWith(1, "b/", 2).Snapshot())
+	m.Traces[0].Key = "mutated"
+	m.Traces[0].Spans[0].Name = "mutated"
+	if a.Traces[0].Key == "mutated" || a.Traces[0].Spans[0].Name == "mutated" {
+		t.Error("mutating the merged snapshot reached the input snapshot")
+	}
+}
+
+func TestMergeSumsStatsAndConcatenatesMarks(t *testing.T) {
+	ra := recorderWith(1, "a/", 2)
+	ra.Mark("phase.one", 100)
+	rb := recorderWith(1, "b/", 2)
+	rb.Mark("phase.two", 200)
+	a, b := ra.Snapshot(), rb.Snapshot()
+	a.Stats.Dropped, a.Stats.PinDropped = 3, 1
+	b.Stats.Dropped, b.Stats.DroppedActive = 4, 2
+
+	m := Merge(a, b)
+	if m.Stats.Dropped != 7 || m.Stats.DroppedActive != 2 || m.Stats.PinDropped != 1 {
+		t.Errorf("merged stats = %+v, want sums", m.Stats)
+	}
+	if len(m.Marks) != 2 || m.Marks[0].Name != "phase.one" || m.Marks[1].Name != "phase.two" {
+		t.Errorf("merged marks = %+v, want shard-order concatenation", m.Marks)
+	}
+}
+
+func TestMergeSkipsNilAndMergesNothing(t *testing.T) {
+	m := Merge(nil, recorderWith(1, "a/", 1).Snapshot(), nil)
+	if len(m.Traces) != 1 {
+		t.Fatalf("merged %d traces, want 1", len(m.Traces))
+	}
+	empty := Merge()
+	if empty.StartSeq != 0 || len(empty.Traces) != 0 {
+		t.Errorf("empty merge = %+v, want zero snapshot", empty)
+	}
+	// An empty merged snapshot must still export without panicking.
+	_ = empty.Text()
+}
+
+func TestMergedSnapshotExports(t *testing.T) {
+	m := Merge(recorderWith(1, "a/", 2).Snapshot(), recorderWith(1, "b/", 2).Snapshot())
+	text := m.Text()
+	for _, key := range []string{"a/a", "a/b", "b/a", "b/b"} {
+		if !strings.Contains(text, key) {
+			t.Errorf("merged text export missing trace key %q", key)
+		}
+	}
+	if _, err := m.JSON(); err != nil {
+		t.Errorf("merged JSON export: %v", err)
+	}
+	if _, err := m.Chrome(); err != nil {
+		t.Errorf("merged Chrome export: %v", err)
+	}
+}

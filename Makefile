@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 trace-golden log-golden doctor-golden shard-determinism verify
+.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 alloc-gate trace-golden log-golden doctor-golden shard-determinism verify
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,20 @@ bench-pr6:
 	$(GO) test -run=NONE -bench 'ShardCrawl' -benchtime 1x ./internal/crawler/shard/ | tee /tmp/bench_pr6.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr6.out > BENCH_PR6.json
 
+# Regenerate the committed hot-path allocation budgets (BENCH_PR7.json):
+# allocs/op and ns/op for every //lintx:hotpath root's gate workload
+# (see alloc_gate_test.go). The allocs/op numbers are the budgets
+# `make alloc-gate` enforces.
+bench-pr7:
+	$(GO) test -run=NONE -bench 'HotPath' -benchmem -benchtime 1000x . | tee /tmp/bench_pr7.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr7.out > BENCH_PR7.json
+
+# Enforce the committed allocs/op budgets with testing.AllocsPerRun —
+# the dynamic counterpart of the static allocfree/boxing/hotpathpurity
+# checks in `make lint`.
+alloc-gate:
+	$(GO) test -run 'TestAllocGate' .
+
 # Golden-test the deterministic trace exports (text/JSON/Chrome byte
 # identity per seed) plus the lintx tracename fixture.
 trace-golden:
@@ -104,4 +118,4 @@ shard-determinism:
 	$(GO) test -run 'Deterministic|Matches|Identical|Partition|Reshard' \
 		./internal/crawler/shard/
 
-verify: build test vet lint race chaos trace-golden log-golden doctor-golden shard-determinism
+verify: build test vet lint race chaos trace-golden log-golden doctor-golden shard-determinism alloc-gate

@@ -50,6 +50,12 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the loaded, type-checked package under analysis.
 	Pkg *Package
+	// Session is the run-wide state shared by every pass: the full
+	// package set, //lintx:hotpath roots, and the cross-package memo
+	// space (call graph, reachability). Nil when a pass is constructed
+	// outside Run without a session; analyzers that need it must
+	// degrade to a no-op in that case.
+	Session *Session
 
 	diags []Diagnostic
 }

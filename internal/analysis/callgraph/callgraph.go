@@ -1,0 +1,345 @@
+// Package callgraph builds a deterministic, type-resolved call graph
+// over the packages of one analysis run, the substrate for the hot-path
+// checks (allocfree, boxing, hotpathpurity): a //lintx:hotpath root's
+// allocation discipline has to hold not just in the annotated function
+// but in everything it calls, and only a call graph can say what that
+// closure is.
+//
+// Resolution is intentionally static and conservative:
+//
+//   - direct calls to package-level functions and methods on concrete
+//     receivers resolve to their declarations (generics are unwrapped to
+//     the generic declaration);
+//   - calls through interfaces, function-typed variables and fields,
+//     and method values are *unknown*: the graph records the site count
+//     but never guesses a target, so reachability is a lower bound —
+//     exactly what a lint wants, since a false "reachable" would flag
+//     cold code and a directive can always annotate a dynamic callee's
+//     implementation as its own root;
+//   - function literals are not separate nodes: a closure's body belongs
+//     to the function that declares it, which matches how the checks
+//     attribute its allocations.
+//
+// Construction is deterministic: nodes are ordered by (package path,
+// file, offset), edges by callee order, and breadth-first reachability
+// visits that order only — two runs over the same source produce
+// byte-identical Dump output and diagnostics (pinned by test).
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"webtextie/internal/analysis"
+)
+
+// Node is one declared function or method in the loaded package set.
+type Node struct {
+	// Func is the type-checker's object for the declaration.
+	Func *types.Func
+	// Decl is the declaration, body included.
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration lives in.
+	Pkg *analysis.Package
+	// UnknownCalls counts call sites in the body whose callee cannot be
+	// resolved statically (interface dispatch, func values). The graph
+	// never expands through them.
+	UnknownCalls int
+
+	index int
+	calls []edge
+}
+
+// edge is one resolved static call: callee plus the first site that
+// calls it (later duplicate sites don't add edges).
+type edge struct {
+	callee *Node
+	site   token.Pos
+}
+
+// Graph is the call graph over one package set.
+type Graph struct {
+	fset  *token.FileSet
+	nodes map[*types.Func]*Node
+	order []*Node
+}
+
+// Build constructs the graph over the given packages.
+func Build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{nodes: map[*types.Func]*Node{}}
+	sorted := make([]*analysis.Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PkgPath < sorted[j].PkgPath })
+
+	for _, pkg := range sorted {
+		if g.fset == nil {
+			g.fset = pkg.Fset
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || fn == nil {
+					continue
+				}
+				g.nodes[fn] = &Node{Func: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	// Deterministic node order: declaration position within the sorted
+	// package sequence. File names inside one package are already
+	// loader-sorted; positions order declarations within a file.
+	for _, pkg := range sorted {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						if n := g.nodes[fn]; n != nil {
+							n.index = len(g.order)
+							g.order = append(g.order, n)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, n := range g.order {
+		g.resolveCalls(n)
+	}
+	return g
+}
+
+// resolveCalls populates one node's edges by walking its body (function
+// literals included — their calls belong to the declaring function).
+func (g *Graph) resolveCalls(n *Node) {
+	info := n.Pkg.Info
+	seen := map[*Node]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, known := resolveCallee(info, call)
+		if !known {
+			n.UnknownCalls++
+			return true
+		}
+		if fn == nil {
+			return true // builtin or conversion: not a call edge
+		}
+		callee, ok := g.nodes[fn]
+		if !ok {
+			return true // external (stdlib or unloaded package)
+		}
+		if !seen[callee] {
+			seen[callee] = true
+			n.calls = append(n.calls, edge{callee: callee, site: call.Pos()})
+		}
+		return true
+	})
+	sort.Slice(n.calls, func(i, j int) bool { return n.calls[i].callee.index < n.calls[j].callee.index })
+}
+
+// resolveCallee classifies one call expression. Returns (fn, true) for a
+// statically resolved function or method on a concrete receiver,
+// (nil, true) for builtins, conversions, and immediately-invoked
+// function literals (no edge, but nothing unknown either), and
+// (nil, false) for dynamic calls: interface dispatch, func-typed
+// variables and fields, method values.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := info.Types[e.X]; ok && !tv.IsType() {
+			fun = ast.Unparen(e.X) // generic instantiation
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil, true // conversion
+	}
+	switch e := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[e].(type) {
+		case *types.Builtin:
+			return nil, true
+		case *types.TypeName:
+			return nil, true
+		case *types.Func:
+			return origin(obj), true
+		default:
+			return nil, false // func-typed variable or unresolved
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[e.Sel].(type) {
+		case *types.TypeName:
+			return nil, true
+		case *types.Func:
+			if sig, ok := obj.Type().(*types.Signature); ok {
+				if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					return nil, false // dynamic dispatch
+				}
+			}
+			return origin(obj), true
+		default:
+			return nil, false // func-typed field or unresolved
+		}
+	case *ast.FuncLit:
+		return nil, true // body walked as part of the enclosing decl
+	}
+	return nil, false
+}
+
+// origin maps an instantiated generic function back to its declaration.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// Node returns the graph node for a function, nil if it has no
+// declaration in the loaded set.
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Label renders a compact, stable name for a function: pkg.Func for
+// package-level functions, pkg.Type.Method for methods (pointer
+// receivers included).
+func Label(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// Reach is the closure of functions reachable from a root set through
+// static call edges, with the breadth-first discovery parent of each
+// member — enough to print one call chain from a root to any member.
+type Reach struct {
+	member map[*types.Func]bool
+	parent map[*types.Func]*types.Func
+}
+
+// Reachable computes the reachability closure from roots. Roots not
+// declared in the graph are dropped. skip, if non-nil, prunes traversal:
+// a node for which it returns true is neither visited nor expanded (the
+// checks use it to stop at the observability plane). The traversal is
+// breadth-first in node order, so the discovery parents — and every
+// diagnostic chain derived from them — are deterministic.
+func (g *Graph) Reachable(roots []*types.Func, skip func(*Node) bool) *Reach {
+	r := &Reach{member: map[*types.Func]bool{}, parent: map[*types.Func]*types.Func{}}
+	var queue []*Node
+	rootNodes := make([]*Node, 0, len(roots))
+	for _, fn := range roots {
+		if n := g.nodes[fn]; n != nil {
+			rootNodes = append(rootNodes, n)
+		}
+	}
+	sort.Slice(rootNodes, func(i, j int) bool { return rootNodes[i].index < rootNodes[j].index })
+	for _, n := range rootNodes {
+		if skip != nil && skip(n) {
+			continue
+		}
+		if !r.member[n.Func] {
+			r.member[n.Func] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.calls {
+			c := e.callee
+			if r.member[c.Func] || (skip != nil && skip(c)) {
+				continue
+			}
+			r.member[c.Func] = true
+			r.parent[c.Func] = n.Func
+			queue = append(queue, c)
+		}
+	}
+	return r
+}
+
+// Contains reports whether fn is reachable.
+func (r *Reach) Contains(fn *types.Func) bool { return r.member[fn] }
+
+// Chain returns one root-to-fn call chain (roots have length-1 chains);
+// nil if fn is not reachable.
+func (r *Reach) Chain(fn *types.Func) []*types.Func {
+	if !r.member[fn] {
+		return nil
+	}
+	var rev []*types.Func
+	for f := fn; f != nil; f = r.parent[f] {
+		rev = append(rev, f)
+	}
+	out := make([]*types.Func, len(rev))
+	for i, f := range rev {
+		out[len(rev)-1-i] = f
+	}
+	return out
+}
+
+// ChainString renders Chain as "root → … → fn" with Label names.
+func (r *Reach) ChainString(fn *types.Func) string {
+	chain := r.Chain(fn)
+	if chain == nil {
+		return ""
+	}
+	parts := make([]string, len(chain))
+	for i, f := range chain {
+		parts[i] = Label(f)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// Dump renders the whole graph, one node per line in deterministic
+// order: "label file:line -> callee, callee... [unknown=N]". This is the
+// construction-determinism surface the tests byte-compare.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	for _, n := range g.order {
+		pos := g.fset.Position(n.Decl.Pos())
+		fmt.Fprintf(&b, "%s %s:%d ->", Label(n.Func), pos.Filename, pos.Line)
+		for i, e := range n.calls {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			b.WriteString(Label(e.callee.Func))
+		}
+		if n.UnknownCalls > 0 {
+			fmt.Fprintf(&b, " [unknown=%d]", n.UnknownCalls)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

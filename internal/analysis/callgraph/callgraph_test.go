@@ -1,0 +1,132 @@
+package callgraph
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"webtextie/internal/analysis"
+)
+
+// loadFixture loads the cg fixture package with a fresh loader.
+func loadFixture(t *testing.T) *analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// fn finds a fixture function by its Label.
+func fn(t *testing.T, g *Graph, label string) *types.Func {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if Label(n.Func) == label {
+			return n.Func
+		}
+	}
+	t.Fatalf("no node labeled %q; have %s", label, g.Dump())
+	return nil
+}
+
+func TestStaticChain(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build([]*analysis.Package{pkg})
+
+	root := fn(t, g, "cg.root")
+	leaf := fn(t, g, "cg.leaf")
+	r := g.Reachable([]*types.Func{root}, nil)
+
+	for _, label := range []string{"cg.root", "cg.T.M", "cg.helper", "cg.leaf"} {
+		if !r.Contains(fn(t, g, label)) {
+			t.Errorf("%s not reachable from cg.root", label)
+		}
+	}
+	if got, want := r.ChainString(leaf), "cg.root → cg.T.M → cg.helper → cg.leaf"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if got := r.ChainString(root); got != "cg.root" {
+		t.Errorf("root chain = %q, want length-1 chain", got)
+	}
+
+	// helper calls leaf twice but carries one edge.
+	if n := g.Node(fn(t, g, "cg.helper")); len(n.calls) != 1 {
+		t.Errorf("cg.helper has %d edges, want 1", len(n.calls))
+	}
+}
+
+func TestDynamicCallsAreUnknown(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build([]*analysis.Package{pkg})
+
+	for _, tc := range []struct {
+		label   string
+		unknown int
+	}{
+		{"cg.viaInterface", 1},
+		{"cg.viaValue", 1},
+		{"cg.withLit", 1}, // f() — the closure body itself is not unknown
+		{"cg.conv", 0},
+	} {
+		n := g.Node(fn(t, g, tc.label))
+		if n.UnknownCalls != tc.unknown {
+			t.Errorf("%s: UnknownCalls = %d, want %d", tc.label, n.UnknownCalls, tc.unknown)
+		}
+	}
+
+	// Interface dispatch must not reach the implementation.
+	r := g.Reachable([]*types.Func{fn(t, g, "cg.viaInterface")}, nil)
+	if r.Contains(fn(t, g, "cg.Impl.Do")) {
+		t.Error("cg.Impl.Do reachable through interface dispatch; graph is guessing targets")
+	}
+	if r.Contains(fn(t, g, "cg.leaf")) {
+		t.Error("cg.leaf reachable from cg.viaInterface; unknown calls must not expand")
+	}
+}
+
+func TestClosureBodyBelongsToDecl(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build([]*analysis.Package{pkg})
+
+	r := g.Reachable([]*types.Func{fn(t, g, "cg.withLit")}, nil)
+	if !r.Contains(fn(t, g, "cg.leaf")) {
+		t.Error("cg.leaf not reachable from cg.withLit; closure body's calls were lost")
+	}
+}
+
+func TestSkipPrunesTraversal(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build([]*analysis.Package{pkg})
+
+	root := fn(t, g, "cg.root")
+	r := g.Reachable([]*types.Func{root}, func(n *Node) bool {
+		return Label(n.Func) == "cg.helper"
+	})
+	if r.Contains(fn(t, g, "cg.helper")) {
+		t.Error("skipped node is a member")
+	}
+	if r.Contains(fn(t, g, "cg.leaf")) {
+		t.Error("cg.leaf reachable through a skipped node")
+	}
+	if !r.Contains(fn(t, g, "cg.T.M")) {
+		t.Error("cg.T.M should still be reachable")
+	}
+}
+
+// TestDumpDeterministic pins construction determinism: two graphs built
+// from two fresh loads render byte-identically.
+func TestDumpDeterministic(t *testing.T) {
+	a := Build([]*analysis.Package{loadFixture(t)}).Dump()
+	b := Build([]*analysis.Package{loadFixture(t)}).Dump()
+	if a != b {
+		t.Fatalf("Dump diverges across fresh builds:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "cg.root") {
+		t.Fatalf("Dump missing cg.root:\n%s", a)
+	}
+}

@@ -1,0 +1,47 @@
+// Package cg is the call-graph fixture: a static chain, dynamic calls
+// the graph must refuse to resolve, a closure whose calls belong to the
+// declaring function, and a conversion that is not a call at all.
+package cg
+
+// T anchors a concrete-receiver method in the chain.
+type T struct{ n int }
+
+// root is the fixture's entry point: root → T.M → helper → leaf.
+func root() int {
+	t := &T{n: 1}
+	return t.M()
+}
+
+// M is a pointer-receiver method; static dispatch.
+func (t *T) M() int { return helper(t.n) }
+
+func helper(n int) int { return leaf(n) + leaf(n) } // duplicate site: one edge
+
+func leaf(n int) int { return n + 1 }
+
+// I forces dynamic dispatch.
+type I interface{ Do() int }
+
+// Impl satisfies I; its method body is a node but must not be reachable
+// through the interface call below.
+type Impl struct{}
+
+func (Impl) Do() int { return leaf(0) }
+
+// viaInterface calls through an interface: unknown callee.
+func viaInterface(i I) int { return i.Do() }
+
+// viaValue calls a func-typed parameter: unknown callee.
+func viaValue(f func() int) int { return f() }
+
+// withLit declares a closure — its body's call to leaf belongs to
+// withLit — then calls it through the variable, which is unknown.
+func withLit() int {
+	f := func() int { return leaf(2) }
+	return f()
+}
+
+// conv is a type conversion, not a call: no edge, nothing unknown.
+func conv(b []byte) string { return string(b) }
+
+var _ = []any{root, viaInterface, viaValue, withLit, conv}

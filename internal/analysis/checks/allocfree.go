@@ -1,0 +1,350 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webtextie/internal/analysis"
+)
+
+// AllocFree flags heap-allocating constructs in functions statically
+// reachable from a //lintx:hotpath root. The IE matching loops (dict
+// Aho–Corasick scan, tokenizer, sentence splitter, dedup fingerprinting)
+// run per document at web scale; a single per-call allocation there is a
+// GC tax on every page crawled, and nothing in `go build` surfaces it.
+// Each diagnostic prints the root-to-function call chain so the reader
+// can see *why* the function is hot.
+//
+// Flagged: map literals, make(map)/make(chan), new, &composite-literal,
+// non-empty slice literals, append without capacity evidence, string ↔
+// []byte/[]rune conversions, and a curated set of known-allocating
+// stdlib calls (all of fmt; strings/bytes/strconv/regexp/sort entries
+// that return fresh memory or take closures).
+//
+// Not flagged — the accepted idioms: make([]T, n, c) is *the* prealloc
+// idiom; append whose target traces to a parameter, receiver field,
+// 3-arg make, or a reslice of one (capacity evidence); map indexing
+// m[string(b)], which the compiler optimizes to a no-alloc lookup; and
+// anything inside an `if ....Enabled() { ... }` guard, which is cold by
+// construction.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "no heap-allocating constructs in functions reachable from a " +
+		"//lintx:hotpath root: map/slice literals, make(map|chan), new, " +
+		"escaping composite literals, append without capacity evidence, " +
+		"string<->[]byte conversions, and known-allocating stdlib calls",
+	Run: runAllocFree,
+}
+
+// allocPkgFuncs maps package path → allocating function/method names.
+// A nil set means every function in the package allocates (fmt).
+var allocPkgFuncs = map[string]map[string]bool{
+	"fmt": nil,
+	"strings": {
+		"ToLower": true, "ToUpper": true, "Join": true, "Split": true,
+		"SplitN": true, "Fields": true, "Replace": true, "ReplaceAll": true,
+		"Repeat": true, "Map": true, "Clone": true, "Title": true,
+	},
+	"bytes": {
+		"Join": true, "Split": true, "Fields": true, "Repeat": true,
+		"ToLower": true, "ToUpper": true,
+	},
+	"strconv": {
+		"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "Quote": true,
+	},
+	"regexp": {
+		"Compile": true, "MustCompile": true,
+		"FindAllString": true, "FindAllStringIndex": true,
+		"FindAllStringSubmatch": true, "FindAllStringSubmatchIndex": true,
+		"FindAllIndex": true, "FindAll": true, "FindAllSubmatch": true,
+		"FindStringSubmatch": true, "FindSubmatch": true,
+		"FindStringIndex": true, "FindIndex": true,
+		"ReplaceAll": true, "ReplaceAllString": true, "Split": true,
+	},
+	"sort": {"Slice": true, "SliceStable": true},
+}
+
+func runAllocFree(pass *analysis.Pass) {
+	st, ok := hotReach(pass)
+	if !ok {
+		return
+	}
+	info := pass.TypesInfo()
+	hotDecls(pass, st, func(fd *ast.FuncDecl, fn *types.Func, chain string) {
+		guards := enabledGuardRanges(info, fd.Body)
+		evidenced := capEvidenced(info, fd)
+		exemptConv := mapIndexConversions(info, fd.Body)
+
+		report := func(pos ast.Node, desc string) {
+			if !inGuarded(pos.Pos(), guards) {
+				pass.Reportf(pos.Pos(), "%s in hot path (%s)", desc, chain)
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+						report(x, "&composite literal escapes to the heap")
+						return false // don't re-flag the literal inside
+					}
+				}
+			case *ast.CompositeLit:
+				tv, ok := info.Types[x]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(x, "map literal allocates")
+				case *types.Slice:
+					if len(x.Elts) > 0 {
+						report(x, "slice literal allocates")
+					}
+				}
+			case *ast.CallExpr:
+				checkAllocCall(pass, info, x, report, evidenced, exemptConv)
+			}
+			return true
+		})
+	})
+}
+
+// checkAllocCall classifies one call expression in a hot function.
+func checkAllocCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr,
+	report func(ast.Node, string), evidenced map[*types.Var]bool, exemptConv map[ast.Expr]bool) {
+
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string ↔ []byte/[]rune copy their operand.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 || exemptConv[call] {
+			return
+		}
+		at, ok := info.Types[call.Args[0]]
+		if !ok || at.Type == nil {
+			return
+		}
+		// Constant operands are materialized in static data, not per call.
+		if at.Value != nil {
+			return
+		}
+		if kind := convKind(tv.Type, at.Type); kind != "" {
+			report(call, "conversion "+kind+" copies its operand")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				report(call, "new allocates")
+			case "make":
+				if len(call.Args) == 0 {
+					return
+				}
+				tv, ok := info.Types[call.Args[0]]
+				if !ok || tv.Type == nil {
+					return
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(call, "make(map) allocates")
+				case *types.Chan:
+					report(call, "make(chan) allocates")
+					// make([]T, n[, c]) is the prealloc idiom: not flagged.
+				}
+			case "append":
+				if len(call.Args) > 0 && !capEvidencedExpr(info, evidenced, call.Args[0]) {
+					report(call, "append without capacity evidence may grow per call")
+				}
+			}
+			return
+		}
+	}
+
+	// Known-allocating stdlib calls.
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if names, ok := allocPkgFuncs[fn.Pkg().Path()]; ok {
+		if names == nil || names[fn.Name()] {
+			report(call, fn.Pkg().Name()+"."+fn.Name()+" allocates")
+		}
+	}
+}
+
+// convKind names a string↔[]byte/[]rune conversion, "" for any other.
+func convKind(dst, src types.Type) string {
+	dstName := byteRuneSliceOrString(dst)
+	srcName := byteRuneSliceOrString(src)
+	if dstName == "" || srcName == "" || dstName == srcName {
+		return ""
+	}
+	if dstName == "string" || srcName == "string" {
+		return dstName + "(" + srcName + ")"
+	}
+	return ""
+}
+
+// byteRuneSliceOrString classifies a type as "string", "[]byte",
+// "[]rune", or "".
+func byteRuneSliceOrString(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return "string"
+		}
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok {
+			switch b.Kind() {
+			case types.Byte:
+				return "[]byte"
+			case types.Rune:
+				return "[]rune"
+			}
+		}
+	}
+	return ""
+}
+
+// mapIndexConversions collects conversion calls used directly as a map
+// index (m[string(b)]): the compiler elides that allocation, so the
+// conversion check exempts them.
+func mapIndexConversions(info *types.Info, body *ast.BlockStmt) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[ix.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			if call, ok := ast.Unparen(ix.Index).(*ast.CallExpr); ok {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capEvidenced computes the set of variables in fd that carry capacity
+// evidence: the receiver and parameters (caller-owned buffers), anything
+// assigned from a 3-arg make, and — by fixed point — anything assigned
+// from a reslice, index, field, or append of an evidenced variable.
+// Appending to an evidenced target is amortized-free when the caller
+// sized the buffer; appending to anything else grows per call.
+func capEvidenced(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	ev := map[*types.Var]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					ev[v] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := varOf(info, id)
+					if v == nil || ev[v] {
+						continue
+					}
+					if capEvidencedExpr(info, ev, st.Rhs[i]) {
+						ev[v] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) != len(st.Values) {
+					return true
+				}
+				for i, name := range st.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok && !ev[v] {
+						if capEvidencedExpr(info, ev, st.Values[i]) {
+							ev[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+// varOf resolves an identifier to its variable object, whether this is
+// its defining or a using occurrence.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// capEvidencedExpr reports whether an expression carries capacity
+// evidence as an append target or assignment source.
+func capEvidencedExpr(info *types.Info, ev map[*types.Var]bool, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := varOf(info, x)
+		return v != nil && ev[v]
+	case *ast.SelectorExpr:
+		return capEvidencedExpr(info, ev, x.X)
+	case *ast.SliceExpr:
+		return capEvidencedExpr(info, ev, x.X)
+	case *ast.IndexExpr:
+		return capEvidencedExpr(info, ev, x.X)
+	case *ast.StarExpr:
+		return capEvidencedExpr(info, ev, x.X)
+	case *ast.CallExpr:
+		fun := ast.Unparen(x.Fun)
+		id, ok := fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		if !ok {
+			return false
+		}
+		switch b.Name() {
+		case "make":
+			return len(x.Args) == 3 // explicit capacity
+		case "append":
+			return len(x.Args) > 0 && capEvidencedExpr(info, ev, x.Args[0])
+		}
+	}
+	return false
+}

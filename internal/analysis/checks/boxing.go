@@ -1,0 +1,209 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"webtextie/internal/analysis"
+)
+
+// Boxing flags the two classic *hidden* allocations in hot-path code —
+// the ones allocfree's syntactic patterns cannot see because no literal
+// or make appears in the source:
+//
+//   - implicit interface conversions: passing or returning a concrete,
+//     non-pointer-shaped value where an interface is expected boxes the
+//     value onto the heap (constants are exempt — the compiler
+//     materializes them in static data);
+//   - variable-capturing closures: a func literal that references
+//     variables of its enclosing function forces a closure object (and
+//     usually the captured variables) onto the heap the moment it
+//     escapes, and Go's escape analysis gives no source-level signal.
+//
+// Scope and exemptions mirror allocfree: only functions reachable from a
+// //lintx:hotpath root, and Enabled()-guarded blocks are cold.
+var Boxing = &analysis.Analyzer{
+	Name: "boxing",
+	Doc: "no implicit interface boxing (concrete non-pointer values passed " +
+		"or returned as interfaces) and no variable-capturing closures in " +
+		"functions reachable from a //lintx:hotpath root",
+	Run: runBoxing,
+}
+
+func runBoxing(pass *analysis.Pass) {
+	st, ok := hotReach(pass)
+	if !ok {
+		return
+	}
+	info := pass.TypesInfo()
+	qual := types.RelativeTo(pass.Pkg.Types)
+	hotDecls(pass, st, func(fd *ast.FuncDecl, fn *types.Func, chain string) {
+		guards := enabledGuardRanges(info, fd.Body)
+		report := func(pos ast.Node, desc string) {
+			if !inGuarded(pos.Pos(), guards) {
+				pass.Reportf(pos.Pos(), "%s in hot path (%s)", desc, chain)
+			}
+		}
+
+		var lits []*ast.FuncLit
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+			return true
+		})
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if names := capturedVars(info, fd, x); len(names) != 0 {
+					report(x, "closure captures "+strings.Join(names, ", ")+" and allocates when it escapes")
+				}
+			case *ast.CallExpr:
+				checkBoxingCall(info, qual, x, report)
+			case *ast.ReturnStmt:
+				checkBoxingReturn(info, qual, fd, lits, x, report)
+			}
+			return true
+		})
+	})
+}
+
+// capturedVars returns the sorted names of enclosing-function variables
+// a func literal references.
+func capturedVars(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the enclosing declaration (so not a
+		// package-level or other-function variable) but outside the
+		// literal itself (so not the literal's own params or locals).
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			seen[v.Name()] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkBoxingCall flags concrete non-pointer-shaped arguments passed to
+// interface-typed parameters.
+func checkBoxingCall(info *types.Info, qual types.Qualifier, call *ast.CallExpr, report func(ast.Node, string)) {
+	fun := ast.Unparen(call.Fun)
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return // conversion, or unresolved
+	}
+	if _, ok := info.Uses[identOf(fun)].(*types.Builtin); ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				if i == params.Len()-1 {
+					pt = params.At(i).Type() // slice passed whole: no boxing
+				}
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if desc := boxedDesc(info, qual, arg, pt); desc != "" {
+			report(arg, desc)
+		}
+	}
+}
+
+// checkBoxingReturn flags concrete non-pointer-shaped values returned as
+// interface results. Returns inside func literals are judged against the
+// literal's own signature.
+func checkBoxingReturn(info *types.Info, qual types.Qualifier, fd *ast.FuncDecl, lits []*ast.FuncLit, ret *ast.ReturnStmt, report func(ast.Node, string)) {
+	var sig *types.Signature
+	var innermost *ast.FuncLit
+	for _, l := range lits {
+		if ret.Pos() > l.Pos() && ret.End() <= l.End() {
+			if innermost == nil || l.Pos() > innermost.Pos() {
+				innermost = l
+			}
+		}
+	}
+	if innermost != nil {
+		tv, ok := info.Types[innermost]
+		if !ok {
+			return
+		}
+		sig, ok = tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return
+		}
+	} else {
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig = fn.Type().(*types.Signature)
+	}
+	results := sig.Results()
+	if len(ret.Results) != results.Len() {
+		return // naked return or single multi-value call
+	}
+	for i, e := range ret.Results {
+		rt := results.At(i).Type()
+		if !types.IsInterface(rt) {
+			continue
+		}
+		if desc := boxedDesc(info, qual, e, rt); desc != "" {
+			report(e, desc)
+		}
+	}
+}
+
+// boxedDesc describes the boxing a concrete expression suffers when
+// converted to interface type it, "" when the conversion is free.
+func boxedDesc(info *types.Info, qual types.Qualifier, e ast.Expr, it types.Type) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if tv.Value != nil {
+		return "" // constants live in static data
+	}
+	if pointerShaped(tv.Type) {
+		return ""
+	}
+	return "implicit conversion of " + types.TypeString(tv.Type, qual) + " to " +
+		types.TypeString(it, qual) + " boxes the value"
+}
+
+// identOf unwraps an expression to its identifier, nil if it is not one.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,62 @@
+package checks_test
+
+// Unit tests for the `lintx -checks` name resolution (satellite of the
+// hot-path analyzer PR: the flag predates it, the test pins it now that
+// check subsets are the documented way to run the hot-path suite alone).
+
+import (
+	"testing"
+
+	"webtextie/internal/analysis/checks"
+)
+
+func TestByName(t *testing.T) {
+	all := checks.All()
+	if len(all) != 12 {
+		t.Fatalf("All() returns %d analyzers, want 12 (update this test when adding a check)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, az := range all {
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+	}
+
+	t.Run("single", func(t *testing.T) {
+		got, unknown := checks.ByName("allocfree")
+		if len(unknown) != 0 || len(got) != 1 || got[0].Name != "allocfree" {
+			t.Errorf("got %v unknown=%v", got, unknown)
+		}
+	})
+	t.Run("list preserves order and trims spaces", func(t *testing.T) {
+		got, unknown := checks.ByName(" boxing , allocfree ,hotpathpurity")
+		if len(unknown) != 0 {
+			t.Fatalf("unknown = %v", unknown)
+		}
+		want := []string{"boxing", "allocfree", "hotpathpurity"}
+		if len(got) != len(want) {
+			t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+		}
+		for i, az := range got {
+			if az.Name != want[i] {
+				t.Errorf("analyzer %d = %q, want %q", i, az.Name, want[i])
+			}
+		}
+	})
+	t.Run("unknown names reported", func(t *testing.T) {
+		got, unknown := checks.ByName("allocfree,nosuchcheck,alsonot")
+		if len(got) != 1 || got[0].Name != "allocfree" {
+			t.Errorf("got = %v", got)
+		}
+		if len(unknown) != 2 || unknown[0] != "nosuchcheck" || unknown[1] != "alsonot" {
+			t.Errorf("unknown = %v", unknown)
+		}
+	})
+	t.Run("empty segments ignored", func(t *testing.T) {
+		got, unknown := checks.ByName(",determinism,,")
+		if len(unknown) != 0 || len(got) != 1 || got[0].Name != "determinism" {
+			t.Errorf("got %v unknown=%v", got, unknown)
+		}
+	})
+}

@@ -81,7 +81,8 @@ func TestGoldenSuppression(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pass := &analysis.Pass{Analyzer: az, Pkg: pkg}
+			sess, _ := analysis.NewSession([]*analysis.Package{pkg})
+			pass := &analysis.Pass{Analyzer: az, Pkg: pkg, Session: sess}
 			az.Run(pass)
 			raw := len(pass.Diagnostics())
 			kept := len(analysis.Relativize(analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{az}), cwd))

@@ -1,0 +1,137 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"webtextie/internal/analysis"
+	"webtextie/internal/analysis/callgraph"
+)
+
+// This file is the shared substrate of the call-graph-aware hot-path
+// checks (allocfree, boxing, hotpathpurity): the memoized call graph and
+// hot-root reachability closure, the Enabled()-guard cold-region
+// detector, and the obs-plane boundary predicate.
+
+// hotState is built once per run and shared by every hot-path check
+// across every package.
+type hotState struct {
+	graph *callgraph.Graph
+	reach *callgraph.Reach
+}
+
+// hotReach returns the run's hot-path state. ok is false when the pass
+// has no session (constructed outside analysis.Run) or the run has no
+// //lintx:hotpath roots; the hot-path checks no-op then.
+func hotReach(pass *analysis.Pass) (*hotState, bool) {
+	sess := pass.Session
+	if sess == nil || len(sess.Hotpaths()) == 0 {
+		return nil, false
+	}
+	v := sess.Memo("checks.hotstate", func() any {
+		g := callgraph.Build(sess.Pkgs)
+		roots := make([]*types.Func, 0, len(sess.Hotpaths()))
+		//lintx:ignore maprange Reachable sorts roots into deterministic node order before traversal
+		for fn := range sess.Hotpaths() {
+			roots = append(roots, fn)
+		}
+		// The observability plane is the hot path's boundary, not its
+		// body: obs handles are engineered separately (lock-free counters,
+		// guarded logging), and traversing into them would hold evlog
+		// internals to the matching loop's allocation discipline. The
+		// hotpathpurity check polices the call *into* the plane instead.
+		r := g.Reachable(roots, func(n *callgraph.Node) bool {
+			return isObsPath(n.Pkg.PkgPath)
+		})
+		return &hotState{graph: g, reach: r}
+	})
+	return v.(*hotState), true
+}
+
+// isObsPath reports whether an import path is internal/obs or one of its
+// subpackages (evlog, trace, ...).
+func isObsPath(path string) bool {
+	return pkgPathMatches(path, "internal/obs") || strings.Contains("/"+path, "/internal/obs/")
+}
+
+// hotDecls calls fn for every function declaration in the pass's package
+// that is reachable from a hot-path root, with its root-to-here chain.
+func hotDecls(pass *analysis.Pass, st *hotState, visit func(fd *ast.FuncDecl, fn *types.Func, chain string)) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !st.reach.Contains(fn) {
+				continue
+			}
+			visit(fd, fn, st.reach.ChainString(fn))
+		}
+	}
+}
+
+// posRange is a half-open source range.
+type posRange struct{ from, to token.Pos }
+
+// enabledGuardRanges returns the body ranges of `if ....Enabled() { ... }`
+// statements. Code inside such a block is cold by construction — the
+// guard is the repo's established pattern for keeping diagnostics off
+// the hot path — so allocfree and boxing exempt it and hotpathpurity
+// requires it around obs calls.
+func enabledGuardRanges(info *types.Info, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condCallsEnabled(info, ifs.Cond) {
+			out = append(out, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// condCallsEnabled reports whether a condition expression contains a
+// call to a method named Enabled.
+func condCallsEnabled(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// inGuarded reports whether pos falls inside any of the ranges.
+func inGuarded(pos token.Pos, ranges []posRange) bool {
+	for _, r := range ranges {
+		if pos >= r.from && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without boxing: pointers, channels, maps, funcs, unsafe.Pointer — and
+// interfaces themselves, where conversion is a repack, not a box.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package checks
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webtextie/internal/analysis"
+)
+
+// TestHotPathReportDeterminism pins the acceptance bar for the
+// call-graph-aware checks: two runs from two fresh loaders — fresh file
+// sets, fresh type universes, fresh sessions — must render byte-identical
+// reports. Map iteration anywhere in graph construction, root collection,
+// or reachability would break this.
+func TestHotPathReportDeterminism(t *testing.T) {
+	render := func() string {
+		t.Helper()
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pkgs []*analysis.Package
+		for _, name := range []string{"allocfree", "boxing", "hotpathpurity"} {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		azs := []*analysis.Analyzer{AllocFree, Boxing, HotPathPurity}
+		var b strings.Builder
+		for _, d := range analysis.Run(pkgs, azs) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("hot-path reports diverge across fresh runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "allocfree:") || !strings.Contains(a, "boxing:") || !strings.Contains(a, "hotpathpurity:") {
+		t.Fatalf("expected findings from all three checks, got:\n%s", a)
+	}
+}

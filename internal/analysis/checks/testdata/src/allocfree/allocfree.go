@@ -1,0 +1,103 @@
+// Package allocfree exercises the allocfree analyzer: every flagged
+// construct inside hot-reachable functions, the accepted prealloc and
+// lookup idioms that stay clean, Enabled()-guarded cold regions, an
+// ignore-suppressed legacy site, and an unannotated cold twin proving
+// reachability scoping.
+package allocfree
+
+import (
+	"fmt"
+	"strings"
+)
+
+var table = map[string]int{"a": 1}
+
+// HotScan is the fixture's root; helper below is hot only through it.
+//
+//lintx:hotpath fixture: innermost per-document scan loop.
+func HotScan(text string) int {
+	m := map[byte]int{'a': 1} // flagged: map literal
+	b := []byte(text)         // flagged: conversion
+	var acc []int
+	acc = append(acc, helper(b)) // flagged: append without evidence
+	return len(acc) + len(m)
+}
+
+// helper is hot via HotScan, not annotated itself.
+func helper(b []byte) int {
+	s := string(b) // flagged: conversion
+	return len(s)
+}
+
+// HotEscapes collects the remaining flagged constructs.
+//
+//lintx:hotpath fixture: per-token classification loop.
+func HotEscapes(n int) int {
+	p := new(int)            // flagged: new
+	q := &point{x: n}        // flagged: &composite literal
+	w := []int{1, 2}         // flagged: slice literal
+	mm := make(map[int]int)  // flagged: make(map)
+	ch := make(chan int, 1)  // flagged: make(chan)
+	s := fmt.Sprint(n)       // flagged: fmt call
+	t := strings.ToLower(s)  // flagged: strings.ToLower
+	ch <- n
+	return *p + q.x + w[0] + len(mm) + len(t) + <-ch
+}
+
+type point struct{ x int }
+
+// HotPrealloc shows the evidence idioms: 3-arg make, parameter-owned
+// buffers, reslices of them, and appends to any of those — all clean.
+//
+//lintx:hotpath fixture: batch accumulation loop with caller-owned buffers.
+func HotPrealloc(dst []int, n int) []int {
+	buf := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	out := dst[:0]
+	out = append(out, buf...)
+	scratch := make([]int, n) // make([]T, n) itself is the prealloc idiom
+	_ = scratch
+	return out
+}
+
+// HotLookup indexes a map with a converted key: the compiler elides that
+// allocation, so it is clean.
+//
+//lintx:hotpath fixture: per-token dictionary probe.
+func HotLookup(b []byte) int {
+	return table[string(b)]
+}
+
+type gate struct{ on bool }
+
+func (g gate) Enabled() bool { return g.on }
+
+// HotGuarded allocates only inside an Enabled() guard: cold by
+// construction, clean.
+//
+//lintx:hotpath fixture: scan loop with guarded diagnostics.
+func HotGuarded(g gate, n int) string {
+	if g.Enabled() {
+		return fmt.Sprintf("n=%d", n)
+	}
+	return ""
+}
+
+// HotLegacy carries a reasoned suppression on a known-allocating call.
+//
+//lintx:hotpath fixture: legacy fold path awaiting the ASCII rewrite.
+func HotLegacy(s string) string {
+	//lintx:ignore allocfree legacy case folding; ASCII fast path lands next pass
+	return strings.ToLower(s)
+}
+
+// Cold mirrors HotScan without an annotation: nothing here is flagged.
+func Cold(text string) int {
+	m := map[byte]int{'a': 1}
+	b := []byte(text)
+	var acc []int
+	acc = append(acc, len(b))
+	return len(acc) + len(m)
+}

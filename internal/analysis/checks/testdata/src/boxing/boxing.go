@@ -1,0 +1,74 @@
+// Package boxing exercises the boxing analyzer: concrete values boxed
+// into interface parameters and results, capturing closures, and the
+// clean cases — pointers, constants, guarded blocks, cold twins, and a
+// suppressed legacy site.
+package boxing
+
+type sink struct{ vals []any }
+
+func (s *sink) Add(v any) { s.vals = append(s.vals, v) }
+
+func emitAll(vs ...any) int { return len(vs) }
+
+// HotEmit boxes a concrete int into any, once directly and once through
+// a variadic; the pointer and constant arguments are free.
+//
+//lintx:hotpath fixture: per-token emit loop.
+func HotEmit(s *sink, n int) int {
+	s.Add(n)  // flagged: int → any
+	s.Add(&n) // clean: pointer-shaped
+	s.Add(42) // clean: constant, lives in static data
+	return emitAll(n, &n) // flagged once: first variadic element boxes
+}
+
+// HotClosure captures its locals; the closure allocates when it escapes.
+//
+//lintx:hotpath fixture: span accumulation loop.
+func HotClosure(text string) func() int {
+	total := 0
+	return func() int { // flagged: captures text, total
+		total += len(text)
+		return total
+	}
+}
+
+// HotReturn boxes a concrete struct into an interface result.
+//
+//lintx:hotpath fixture: per-match verdict constructor.
+func HotReturn(n int) any {
+	if n > 0 {
+		return point{x: n} // flagged: point → any
+	}
+	return &point{x: n} // clean: pointer-shaped
+}
+
+type point struct{ x int }
+
+type gate struct{ on bool }
+
+func (g gate) Enabled() bool { return g.on }
+
+// HotGuarded boxes only inside an Enabled() guard — cold, clean.
+//
+//lintx:hotpath fixture: scan loop with guarded diagnostics.
+func HotGuarded(g gate, s *sink, n int) {
+	if g.Enabled() {
+		s.Add(n)
+	}
+}
+
+// HotLegacy carries a reasoned suppression.
+//
+//lintx:hotpath fixture: legacy emit path awaiting a typed sink.
+func HotLegacy(s *sink, n int) {
+	//lintx:ignore boxing typed sink lands with the PR8 emit rewrite
+	s.Add(n)
+}
+
+// coldEmit mirrors HotEmit without an annotation: clean.
+func coldEmit(s *sink, n int) func() int {
+	s.Add(n)
+	return func() int { return n }
+}
+
+var _ = coldEmit

@@ -1,0 +1,51 @@
+// Package hotpathpurity exercises the hotpathpurity analyzer: obs-plane
+// calls from hot functions must be free handle operations or sit behind
+// an Enabled() guard. Pre-resolved counter updates and guarded logging
+// are clean; unguarded emission, registry lookups, and sampler chains in
+// hot code are flagged; cold twins and suppressed sites are not.
+package hotpathpurity
+
+import (
+	"webtextie/internal/obs"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+)
+
+// scanner holds pre-resolved obs handles, the pattern the check rewards:
+// lookups happen at construction, the hot loop touches only handles.
+type scanner struct {
+	lg    evlog.Logger
+	reg   *obs.Registry
+	cHits *obs.Counter
+}
+
+// HotScan is the fixture's hot root.
+//
+//lintx:hotpath fixture: per-document scan loop.
+func (s *scanner) HotScan(text string) int {
+	s.cHits.Inc() // clean: pre-resolved handle op
+	if s.lg.Enabled() {
+		// clean: guarded emission, attr constructors included
+		s.lg.Debug("fixture.scan", 0, trace.Int("len", int64(len(text))))
+	}
+	s.lg.Debug("fixture.scan.unguarded", 1)       // flagged
+	s.reg.Counter("fixture.lookup").Inc()         // flagged: registry lookup
+	s.lg.Sample("k", 4).Debug("fixture.scan", 2)  // flagged twice: Sample and Debug
+	return len(text)
+}
+
+// HotLegacy carries a reasoned suppression on an unguarded emission.
+//
+//lintx:hotpath fixture: legacy diagnostics awaiting the guard sweep.
+func (s *scanner) HotLegacy() {
+	//lintx:ignore hotpathpurity guard sweep lands with the PR8 log audit
+	s.lg.Debug("fixture.legacy", 3)
+}
+
+// coldScan mirrors HotScan without an annotation: clean.
+func (s *scanner) coldScan() {
+	s.lg.Debug("fixture.cold", 4)
+	s.reg.Counter("fixture.cold").Inc()
+}
+
+var _ = (*scanner).coldScan

@@ -1,0 +1,152 @@
+package analysis
+
+// Direct unit tests for the directive layer: //lintx:ignore parsing and
+// suppression matching (directive.go) and //lintx:hotpath root
+// collection (hotpath.go), against the testdata/directives fixture.
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadDirectivesFixture loads the fixture package through the real
+// loader, so comment attachment matches production exactly.
+func loadDirectivesFixture(t *testing.T) *Package {
+	t.Helper()
+	l, err := NewLoader("testdata/directives")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/directives")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return pkg
+}
+
+func TestCollectIgnores(t *testing.T) {
+	pkg := loadDirectivesFixture(t)
+	igs, bad := collectIgnores(pkg)
+
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-ignore diagnostics, want 1: %+v", len(bad), bad)
+	}
+	if bad[0].Check != "directive" || !strings.Contains(bad[0].Message, "lintx:ignore") {
+		t.Errorf("malformed diagnostic = %+v", bad[0])
+	}
+
+	// The reason-less directive is rejected entirely: it must not appear
+	// as a live suppression.
+	if len(igs) != 3 {
+		t.Fatalf("got %d parsed ignores, want 3: %+v", len(igs), igs)
+	}
+	wantChecks := []map[string]bool{
+		{"maprange": true},
+		{"lockcopy": true, "maprange": true},
+		{"all": true},
+	}
+	for i, want := range wantChecks {
+		got := igs[i].checks
+		if len(got) != len(want) {
+			t.Errorf("ignore %d: checks = %v, want %v", i, got, want)
+			continue
+		}
+		for name := range want {
+			if !got[name] {
+				t.Errorf("ignore %d: missing check %q", i, name)
+			}
+		}
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	pkg := loadDirectivesFixture(t)
+	igs, _ := collectIgnores(pkg)
+	preceding, sameLine, blanket := igs[0], igs[1], igs[2]
+
+	diag := func(path string, line int, check string) Diagnostic {
+		return Diagnostic{Path: path, Line: line, Check: check, Message: "x"}
+	}
+
+	cases := []struct {
+		name string
+		d    Diagnostic
+		want bool
+	}{
+		{"directive line itself", diag(preceding.path, preceding.line, "maprange"), true},
+		{"line below the directive", diag(preceding.path, preceding.line+1, "maprange"), true},
+		{"two lines below", diag(preceding.path, preceding.line+2, "maprange"), false},
+		{"line above", diag(preceding.path, preceding.line-1, "maprange"), false},
+		{"other check", diag(preceding.path, preceding.line, "lockcopy"), false},
+		{"other file", diag("elsewhere.go", preceding.line, "maprange"), false},
+		{"same-line multi-check first", diag(sameLine.path, sameLine.line, "lockcopy"), true},
+		{"same-line multi-check second", diag(sameLine.path, sameLine.line, "maprange"), true},
+		{"all matches any check", diag(blanket.path, blanket.line+1, "goroutine"), true},
+	}
+	for _, tc := range cases {
+		if got := suppressed(tc.d, igs); got != tc.want {
+			t.Errorf("%s: suppressed = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCollectHotpaths(t *testing.T) {
+	pkg := loadDirectivesFixture(t)
+	roots, bad := collectHotpaths(pkg)
+
+	if len(roots) != 1 {
+		t.Fatalf("got %d hot roots, want 1: %v", len(roots), roots)
+	}
+	for fn, reason := range roots {
+		if fn.Name() != "HotRoot" {
+			t.Errorf("root = %s, want HotRoot", fn.Name())
+		}
+		if want := "inner loop of the fixture, exercised per document."; reason != want {
+			t.Errorf("reason = %q, want %q", reason, want)
+		}
+	}
+
+	// BadRoot's reason-less annotation and the floating annotation above
+	// a var each produce one directive diagnostic; //lintx:hotpathology
+	// produces none.
+	if len(bad) != 2 {
+		t.Fatalf("got %d hotpath diagnostics, want 2: %+v", len(bad), bad)
+	}
+	var missingReason, floating int
+	for _, d := range bad {
+		if d.Check != "directive" {
+			t.Errorf("diagnostic check = %q, want directive", d.Check)
+		}
+		switch {
+		case strings.Contains(d.Message, "want //lintx:hotpath <reason>"):
+			missingReason++
+		case strings.Contains(d.Message, "doc comment of a function"):
+			floating++
+		default:
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+	if missingReason != 1 || floating != 1 {
+		t.Errorf("missingReason=%d floating=%d, want 1 and 1", missingReason, floating)
+	}
+}
+
+func TestCutHotpath(t *testing.T) {
+	cases := []struct {
+		in     string
+		reason string
+		ok     bool
+	}{
+		{"//lintx:hotpath per-page loop", "per-page loop", true},
+		{"//lintx:hotpath\ttabbed reason", "tabbed reason", true},
+		{"//lintx:hotpath", "", true}, // directive, empty reason: caller reports it
+		{"//lintx:hotpathology", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, tc := range cases {
+		reason, ok := cutHotpath(tc.in)
+		if reason != tc.reason || ok != tc.ok {
+			t.Errorf("cutHotpath(%q) = (%q, %v), want (%q, %v)", tc.in, reason, ok, tc.reason, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathPrefix introduces a hot-path root annotation. The grammar is
+//
+//	//lintx:hotpath <reason>
+//
+// placed inside the doc comment of a function or method declaration. The
+// annotated function becomes a root for the call-graph-aware checks
+// (allocfree, boxing, hotpathpurity): everything statically reachable
+// from a root is held to the hot-path discipline. The reason (mandatory)
+// says why the function is hot — which loop it sits in, which figure or
+// benchmark its throughput feeds — so the annotation set stays auditable
+// the same way ignore directives do.
+const hotpathPrefix = "//lintx:hotpath"
+
+// collectHotpaths parses every //lintx:hotpath directive in the package.
+// Directives in a function's doc comment map that function to its
+// reason; a directive with no reason, or one floating outside any
+// function declaration's doc comment, is returned as a diagnostic of the
+// pseudo-check "directive" — like malformed ignores, malformed hot-root
+// claims are themselves hygiene violations.
+func collectHotpaths(pkg *Package) (map[*types.Func]string, []Diagnostic) {
+	roots := map[*types.Func]string{}
+	var bad []Diagnostic
+	attached := map[*ast.Comment]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, ok := cutHotpath(c.Text)
+				if !ok {
+					continue
+				}
+				attached[c] = true
+				if rest == "" {
+					pos := pkg.Fset.Position(c.Pos())
+					bad = append(bad, Diagnostic{
+						Path: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "directive",
+						Message: "malformed directive: want //lintx:hotpath <reason>",
+					})
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+					roots[fn] = rest
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, ok := cutHotpath(c.Text); !ok || attached[c] {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				bad = append(bad, Diagnostic{
+					Path: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Check:   "directive",
+					Message: "//lintx:hotpath must sit in the doc comment of a function or method declaration",
+				})
+			}
+		}
+	}
+	return roots, bad
+}
+
+// cutHotpath splits a comment into (trimmed reason, is-hotpath-directive).
+// A prefix match followed by a non-space rune ("//lintx:hotpathX") is not
+// a directive.
+func cutHotpath(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, hotpathPrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Session is the shared cross-package state of one analysis run: the
+// full package set, the //lintx:hotpath roots collected from it, and a
+// memo space so expensive cross-package artifacts (the call graph, the
+// hot-path reachability closure) are built once per run instead of once
+// per package per analyzer.
+type Session struct {
+	// Pkgs is the complete package set under analysis.
+	Pkgs []*Package
+
+	hot  map[*types.Func]string
+	memo map[string]any
+}
+
+// NewSession collects hot-path roots over the package set and returns
+// the session plus any malformed-directive diagnostics.
+func NewSession(pkgs []*Package) (*Session, []Diagnostic) {
+	s := &Session{Pkgs: pkgs, hot: map[*types.Func]string{}, memo: map[string]any{}}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		roots, b := collectHotpaths(pkg)
+		bad = append(bad, b...)
+		for fn, reason := range roots {
+			s.hot[fn] = reason
+		}
+	}
+	return s, bad
+}
+
+// Hotpaths returns the annotated hot-path root functions with their
+// reasons. Callers must not mutate the map.
+func (s *Session) Hotpaths() map[*types.Func]string { return s.hot }
+
+// Memo returns the value cached under key, calling build to produce it
+// on first use. Analyzers share one memo space per run, so keys carry
+// the owning subsystem as a prefix ("callgraph.graph").
+func (s *Session) Memo(key string, build func() any) any {
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	v := build()
+	s.memo[key] = v
+	return v
+}

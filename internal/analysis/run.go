@@ -4,14 +4,18 @@ import "sort"
 
 // Run applies every analyzer to every package, drops diagnostics covered
 // by //lintx:ignore directives, and returns the survivors sorted by
-// position (then check name) so output is deterministic.
+// position (then check name) so output is deterministic. All passes
+// share one Session, so hot-path roots annotated in any package are
+// visible to the call-graph-aware checks in every other.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	sess, bad := NewSession(pkgs)
 	diags := []Diagnostic{}
+	diags = append(diags, bad...)
 	for _, pkg := range pkgs {
 		igs, bad := collectIgnores(pkg)
 		diags = append(diags, bad...)
 		for _, az := range analyzers {
-			pass := &Pass{Analyzer: az, Pkg: pkg}
+			pass := &Pass{Analyzer: az, Pkg: pkg, Session: sess}
 			az.Run(pass)
 			for _, d := range pass.diags {
 				if !suppressed(d, igs) {

@@ -48,21 +48,107 @@ func hashShingle(s string) uint64 {
 	return h
 }
 
+// asciiSpace matches the ASCII subset of unicode.IsSpace, the separator
+// set strings.Fields uses; on ASCII input the two tokenizations agree.
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// asciiOnly reports whether s contains only ASCII bytes.
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashWindow is hashShingle(strings.Join(loweredWords[i:i+k], " "))
+// computed directly over the word spans of text, byte for byte: the FNV
+// stream sees each word's case-folded bytes with a single space between
+// words, exactly what the Join-then-hash form feeds it (pinned by test).
+// spans holds (start, end) pairs, two int32 per word.
+func hashWindow(text string, spans []int32, i, k int) uint64 {
+	h := uint64(14695981039346656037)
+	for w := 0; w < k; w++ {
+		if w > 0 {
+			h ^= uint64(' ')
+			h *= 1099511628211
+		}
+		s, e := spans[2*(i+w)], spans[2*(i+w)+1]
+		for j := s; j < e; j++ {
+			c := text[j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
 // Shingles returns the hashed k-word shingles of text (lower-cased,
 // whitespace-tokenized). Texts shorter than k words yield one shingle.
+// ASCII text — the hot mass of the crawl — is hashed straight off word
+// spans without lower-casing, splitting, or joining copies; non-ASCII
+// text takes the legacy copying path with identical results.
+//
+//lintx:hotpath shingle fingerprinting, run once per fetched document (ROADMAP item 2).
 func Shingles(text string, k int) []uint64 {
 	if k <= 0 {
 		k = 3
 	}
+	if !asciiOnly(text) {
+		return shinglesUnicode(text, k)
+	}
+	spans := make([]int32, 0, 2+len(text)/3)
+	for i := 0; i < len(text); {
+		if asciiSpace(text[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(text) && !asciiSpace(text[j]) {
+			j++
+		}
+		spans = append(spans, int32(i), int32(j))
+		i = j
+	}
+	nw := len(spans) / 2
+	if nw == 0 {
+		return nil
+	}
+	if nw <= k {
+		out := make([]uint64, 1)
+		out[0] = hashWindow(text, spans, 0, nw)
+		return out
+	}
+	out := make([]uint64, 0, nw-k+1)
+	for i := 0; i+k <= nw; i++ {
+		out = append(out, hashWindow(text, spans, i, k))
+	}
+	return out
+}
+
+// shinglesUnicode is the legacy whole-copy shingle path, kept for
+// non-ASCII documents where per-byte case folding is wrong.
+func shinglesUnicode(text string, k int) []uint64 {
+	//lintx:ignore allocfree non-ASCII fold and split copy once per document; the ASCII fast path covers the hot mass of the crawl
 	words := strings.Fields(strings.ToLower(text))
 	if len(words) == 0 {
 		return nil
 	}
 	if len(words) <= k {
-		return []uint64{hashShingle(strings.Join(words, " "))}
+		out := make([]uint64, 1)
+		//lintx:ignore allocfree single Join on a sub-k-word document, not per window
+		out[0] = hashShingle(strings.Join(words, " "))
+		return out
 	}
 	out := make([]uint64, 0, len(words)-k+1)
 	for i := 0; i+k <= len(words); i++ {
+		//lintx:ignore allocfree per-window Join survives only on the non-ASCII fallback; ASCII documents hash spans in place
 		out = append(out, hashShingle(strings.Join(words[i:i+k], " ")))
 	}
 	return out
@@ -90,6 +176,8 @@ func MinHash(shingles []uint64) Signature {
 }
 
 // Sketch computes the signature of a text directly.
+//
+//lintx:hotpath per-document fingerprint entry on the crawl's dedup path (ROADMAP item 2).
 func Sketch(text string, shingleK int) Signature {
 	return MinHash(Shingles(text, shingleK))
 }
@@ -118,6 +206,13 @@ type Index struct {
 	buckets []map[uint64][]int // per band: bucket-hash -> entry ids
 	ids     []string
 	sigs    []Signature
+
+	// seenMark is the per-probe candidate-dedup scratch: seenMark[i] ==
+	// seenEpoch means entry i was already compared this AddOrFind call.
+	// Bumping the epoch resets the set without touching memory; the rare
+	// wrap to 0 clears the slice once.
+	seenMark  []uint32
+	seenEpoch uint32
 
 	cIndexed, cDup, cCand *obs.Counter
 	lg                    evlog.Logger
@@ -178,22 +273,37 @@ func (x *Index) bandHash(sig Signature, band int) uint64 {
 // AddOrFind checks the signature against the index; if a sufficiently
 // similar document exists, its id is returned with dup=true and nothing is
 // added. Otherwise the document is indexed.
+//
+//lintx:hotpath LSH probe+insert, run once per fetched document on the crawl's dedup path (ROADMAP item 2).
 func (x *Index) AddOrFind(id string, sig Signature) (dupOf string, dup bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	seen := map[int]bool{}
+	if need := len(x.ids); len(x.seenMark) < need {
+		grown := make([]uint32, need*2+8)
+		copy(grown, x.seenMark)
+		x.seenMark = grown
+	}
+	x.seenEpoch++
+	if x.seenEpoch == 0 {
+		for i := range x.seenMark {
+			x.seenMark[i] = 0
+		}
+		x.seenEpoch = 1
+	}
 	for b := 0; b < x.bands; b++ {
 		h := x.bandHash(sig, b)
 		for _, cand := range x.buckets[b][h] {
-			if seen[cand] {
+			if x.seenMark[cand] == x.seenEpoch {
 				continue
 			}
-			seen[cand] = true
+			x.seenMark[cand] = x.seenEpoch
 			x.cCand.Inc()
 			if Similarity(sig, x.sigs[cand]) >= x.Threshold {
 				x.cDup.Inc()
-				x.lg.Sample(id, 4).Debug("dedup.duplicate", int64(len(x.ids)),
-					trace.String("id", id), trace.String("dup_of", x.ids[cand]))
+				if x.lg.Enabled() {
+					x.lg.Sample(id, 4).Debug("dedup.duplicate", int64(len(x.ids)),
+						trace.String("id", id), trace.String("dup_of", x.ids[cand]))
+				}
 				return x.ids[cand], true
 			}
 		}

@@ -224,17 +224,68 @@ func isWordByte(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
-// Find returns all whole-word matches in text, resolved left-to-right with
-// the longest match winning at each position.
-func (m *Matcher) Find(text string) []Match {
-	search := text
-	if m.opts.CaseInsensitive {
-		search = strings.ToLower(text)
+// asciiOnly reports whether s contains only ASCII bytes.
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
 	}
-	var raw []Match
+	return true
+}
+
+// lowerASCII folds one ASCII byte to lower case. For ASCII input this is
+// exactly what strings.ToLower would produce, byte for byte — the scan
+// below relies on that equivalence (pinned by test).
+func lowerASCII(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+// Find returns all whole-word matches in text, resolved left-to-right with
+// the longest match winning at each position. The single allocation is the
+// result slice; callers on the per-document path should prefer FindAppend
+// with a reused buffer.
+//
+//lintx:hotpath Aho–Corasick scan, run per sentence per document per dictionary (ROADMAP item 2).
+func (m *Matcher) Find(text string) []Match {
+	return m.FindAppend(make([]Match, 0, 8), text)
+}
+
+// FindAppend is Find writing into a caller-owned buffer: it appends the
+// resolved matches to dst and returns the extended slice. With a buffer
+// of sufficient capacity the whole match path is allocation-free for
+// ASCII documents; case folding happens per byte during the scan instead
+// of copying the document up front. Non-ASCII documents fall back to the
+// whole-copy fold, preserving the exact offsets the original
+// implementation produced.
+//
+//lintx:hotpath zero-alloc entry of the Aho–Corasick scan; budgets pinned by alloc_gate_test.
+func (m *Matcher) FindAppend(dst []Match, text string) []Match {
+	base := len(dst)
+	if m.opts.CaseInsensitive && !asciiOnly(text) {
+		//lintx:ignore allocfree non-ASCII fold copies once per document; the ASCII fast path covers the hot mass of the crawl
+		search := strings.ToLower(text)
+		dst = m.scan(dst, text, search, false)
+	} else {
+		dst = m.scan(dst, text, text, m.opts.CaseInsensitive)
+	}
+	n := resolveLongest(dst[base:])
+	return dst[:base+n]
+}
+
+// scan runs the automaton over search, appending raw (unresolved) whole
+// word matches to dst. Surfaces slice text, which must be byte-aligned
+// with search. With foldASCII set, bytes are case-folded on the fly.
+func (m *Matcher) scan(dst []Match, text, search string, foldASCII bool) []Match {
 	cur := int32(0)
 	for i := 0; i < len(search); i++ {
 		c := search[i]
+		if foldASCII {
+			c = lowerASCII(c)
+		}
 		for {
 			if nxt, ok := m.nodes[cur].next[c]; ok {
 				cur = nxt
@@ -254,7 +305,7 @@ func (m *Matcher) Find(text string) []Match {
 				// Whole-word constraint.
 				if (start == 0 || !isWordByte(search[start-1])) &&
 					(end == len(search) || !isWordByte(search[end])) {
-					raw = append(raw, Match{
+					dst = append(dst, Match{
 						Start: start, End: end,
 						Surface:   text[start:end],
 						Canonical: m.canon[nd.out-1],
@@ -264,19 +315,19 @@ func (m *Matcher) Find(text string) []Match {
 			n = nd.outLink
 		}
 	}
-	return resolveLongest(raw)
+	return dst
 }
 
 // resolveLongest keeps, among overlapping matches, the longest one
-// (leftmost on ties), assuming input sorted by End then length order from
-// the scan.
-func resolveLongest(raw []Match) []Match {
+// (leftmost on ties). It compacts raw in place — writes trail reads, so
+// the aliasing is safe — and returns the surviving count.
+func resolveLongest(raw []Match) int {
 	if len(raw) <= 1 {
-		return raw
+		return len(raw)
 	}
 	// Sort by start, then by longer-first.
 	sortMatches(raw)
-	var out []Match
+	out := raw[:0]
 	lastEnd := -1
 	for _, r := range raw {
 		if r.Start >= lastEnd {
@@ -291,7 +342,7 @@ func resolveLongest(raw []Match) []Match {
 			lastEnd = r.End
 		}
 	}
-	return out
+	return len(out)
 }
 
 func sortMatches(ms []Match) {

@@ -35,7 +35,7 @@ func naiveFind(text string, surfaces []string) []Match {
 			from = start + 1
 		}
 	}
-	return resolveLongest(raw)
+	return raw[:resolveLongest(raw)]
 }
 
 var pool = []string{"alpha", "beta", "gamma", "alphabet", "bet", "gam", "a1", "x-y"}

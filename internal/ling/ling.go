@@ -37,55 +37,69 @@ var PronounClassNames = []string{
 	"subject", "object", "possessive", "demonstrative", "relative", "reflexive",
 }
 
+// pronounOrder scans classes from most specific to least (reflexive
+// first, subject last) so reflexives win over shorter overlapping
+// matches ("her" inside "herself"). A package-level array: a per-call
+// slice literal would allocate in the hot path.
+var pronounOrder = [6]int{5, 4, 3, 2, 1, 0}
+
+// claim is one claimed pronoun span, used for overlap suppression.
+type claim struct{ start, end int }
+
+// sentenceAt returns the index of the sentence containing pos, -1 when
+// pos falls between sentences.
+func sentenceAt(sentences []nlp.Span, pos int) int {
+	for i, s := range sentences {
+		if pos >= s.Start && pos < s.End {
+			return i
+		}
+	}
+	return -1
+}
+
+// overlapsClaims reports whether [s, e) intersects any claimed span.
+func overlapsClaims(claimed []claim, s, e int) bool {
+	for _, c := range claimed {
+		if s < c.end && c.start < e {
+			return true
+		}
+	}
+	return false
+}
+
 // Analyze scans a document's text and returns stand-off annotations for
 // negation particles, pronouns (per class), and parenthesized text.
 // Sentence indexes are assigned from the provided spans.
+//
+//lintx:hotpath linguistic scan, run once per extracted document (§4.3.1 pipeline; ROADMAP item 2).
 func Analyze(docID, text string, sentences []nlp.Span) []annot.Annotation {
-	var out []annot.Annotation
-	sentAt := func(pos int) int {
-		for i, s := range sentences {
-			if pos >= s.Start && pos < s.End {
-				return i
-			}
-		}
-		return -1
-	}
+	out := make([]annot.Annotation, 0, 16)
+	claimed := make([]claim, 0, 8)
+	//lintx:ignore allocfree regexp Find APIs allocate their result slices; the PR8 arc replaces these with prefiltered scans
 	for _, m := range negationRe.FindAllStringIndex(text, -1) {
 		out = append(out, annot.Annotation{
-			DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+			DocID: docID, Sentence: sentenceAt(sentences, m[0]), Start: m[0], End: m[1],
 			Kind: annot.KindNegation, Value: text[m[0]:m[1]], Source: "ling",
 		})
 	}
-	// Reflexives must win over shorter overlapping matches ("her" inside
-	// "herself"), so scan classes from most specific to least and suppress
-	// overlaps.
-	type claim struct{ start, end int }
-	var claimed []claim
-	overlapsClaimed := func(s, e int) bool {
-		for _, c := range claimed {
-			if s < c.end && c.start < e {
-				return true
-			}
-		}
-		return false
-	}
-	order := []int{5, 4, 3, 2, 1, 0} // reflexive first, subject last
-	for _, class := range order {
+	for _, class := range pronounOrder {
+		//lintx:ignore allocfree regexp Find APIs allocate their result slices; the PR8 arc replaces these with prefiltered scans
 		for _, m := range pronounRes[class].FindAllStringIndex(text, -1) {
-			if overlapsClaimed(m[0], m[1]) {
+			if overlapsClaims(claimed, m[0], m[1]) {
 				continue
 			}
 			claimed = append(claimed, claim{m[0], m[1]})
 			out = append(out, annot.Annotation{
-				DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+				DocID: docID, Sentence: sentenceAt(sentences, m[0]), Start: m[0], End: m[1],
 				Kind: annot.KindPronoun, Value: PronounClassNames[class],
 				Source: "ling",
 			})
 		}
 	}
+	//lintx:ignore allocfree regexp Find APIs allocate their result slices; the PR8 arc replaces these with prefiltered scans
 	for _, m := range parenRe.FindAllStringIndex(text, -1) {
 		out = append(out, annot.Annotation{
-			DocID: docID, Sentence: sentAt(m[0]), Start: m[0], End: m[1],
+			DocID: docID, Sentence: sentenceAt(sentences, m[0]), Start: m[0], End: m[1],
 			Kind: annot.KindParen, Value: text[m[0]:m[1]], Source: "ling",
 		})
 	}

@@ -8,8 +8,6 @@
 // (> 2000 characters), which downstream taggers must survive (§4.2).
 package nlp
 
-import "strings"
-
 // Span is a half-open [Start, End) byte range over a document text.
 type Span struct {
 	Start, End int
@@ -31,21 +29,17 @@ var knownAbbrevs = map[string]bool{
 // periods, question and exclamation marks followed by whitespace and an
 // upper-case letter, digit or end of text, with abbreviation and
 // single-letter-initial suppression. Text without terminal punctuation
-// becomes one (possibly enormous) sentence.
+// becomes one (possibly enormous) sentence. The returned slice is the
+// only allocation.
+//
+//lintx:hotpath sentence boundary detection, run once per extracted document (ROADMAP item 2).
 func SplitSentences(text string) []Span {
-	var spans []Span
+	n := len(text)
+	// Web prose averages well over 64 bytes per sentence; the estimate
+	// only has to make growth rare, not impossible.
+	spans := make([]Span, 0, 1+n/64)
 	start := 0
 	i := 0
-	n := len(text)
-	flush := func(end int) {
-		for start < end && isSpace(text[start]) {
-			start++
-		}
-		if end > start {
-			spans = append(spans, Span{Start: start, End: end})
-		}
-		start = end
-	}
 	for i < n {
 		c := text[i]
 		if c != '.' && c != '?' && c != '!' {
@@ -55,7 +49,7 @@ func SplitSentences(text string) []Span {
 		// Candidate boundary. Look behind for abbreviation/initial.
 		if c == '.' {
 			w := lastWord(text, i)
-			if knownAbbrevs[strings.ToLower(w)] || len(w) == 1 && w[0] >= 'A' && w[0] <= 'Z' {
+			if isKnownAbbrev(w) || len(w) == 1 && w[0] >= 'A' && w[0] <= 'Z' {
 				i++
 				continue
 			}
@@ -71,7 +65,7 @@ func SplitSentences(text string) []Span {
 			j++
 		}
 		if j >= n {
-			flush(j)
+			spans, start = flushSpan(spans, text, start, j)
 			i = j
 			continue
 		}
@@ -81,7 +75,7 @@ func SplitSentences(text string) []Span {
 				k++
 			}
 			if k >= n || isUpper(text[k]) || isDigit(text[k]) || text[k] == '(' {
-				flush(j)
+				spans, start = flushSpan(spans, text, start, j)
 				i = k
 				continue
 			}
@@ -89,9 +83,47 @@ func SplitSentences(text string) []Span {
 		i++
 	}
 	if start < n {
-		flush(n)
+		spans, _ = flushSpan(spans, text, start, n)
 	}
 	return spans
+}
+
+// flushSpan appends [start, end) to spans with leading whitespace
+// trimmed, returning the grown slice and the next sentence start. A
+// package function rather than a closure: closures capturing locals heap
+// allocate in the hot path (boxing check).
+func flushSpan(spans []Span, text string, start, end int) ([]Span, int) {
+	for start < end && isSpace(text[start]) {
+		start++
+	}
+	if end > start {
+		spans = append(spans, Span{Start: start, End: end})
+	}
+	return spans, end
+}
+
+// maxAbbrevLen is the length of the longest knownAbbrevs key ("approx").
+const maxAbbrevLen = 6
+
+// isKnownAbbrev reports whether w (case-insensitively) is a known
+// abbreviation. The fold runs through a stack buffer and the map lookup
+// uses the no-alloc string-conversion index form, so this replaces the
+// former knownAbbrevs[strings.ToLower(w)] without its per-boundary
+// allocation. lastWord only yields ASCII alnum-and-period runs, so the
+// per-byte fold is exact.
+func isKnownAbbrev(w string) bool {
+	if len(w) == 0 || len(w) > maxAbbrevLen {
+		return false
+	}
+	var buf [maxAbbrevLen]byte
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return knownAbbrevs[string(buf[:len(w)])]
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
@@ -120,9 +152,13 @@ type TokenSpan struct {
 
 // Tokenize splits a text slice into tokens: alphanumeric runs (with
 // internal hyphens kept, as biomedical names like "GAD-67" require) and
-// single punctuation characters. Whitespace separates tokens.
+// single punctuation characters. Whitespace separates tokens. The
+// returned slice is the only allocation.
+//
+//lintx:hotpath tokenizer, run once per sentence per document (ROADMAP item 2).
 func Tokenize(text string, base int) []TokenSpan {
-	var out []TokenSpan
+	// ~4 bytes per token on web prose; an estimate, not a bound.
+	out := make([]TokenSpan, 0, 1+len(text)/4)
 	i, n := 0, len(text)
 	for i < n {
 		c := text[i]
@@ -158,6 +194,8 @@ func Tokenize(text string, base int) []TokenSpan {
 
 // SentenceTokens runs sentence splitting and per-sentence tokenization in
 // one pass, returning parallel slices.
+//
+//lintx:hotpath per-document preprocessing entry used by the IE strategies (ROADMAP item 2).
 func SentenceTokens(text string) ([]Span, [][]TokenSpan) {
 	sents := SplitSentences(text)
 	toks := make([][]TokenSpan, len(sents))

@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 alloc-gate trace-golden log-golden doctor-golden shard-determinism verify
+.PHONY: build test vet lint race chaos supervisor-chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 alloc-gate trace-golden log-golden doctor-golden shard-determinism verify
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ chaos:
 	$(GO) test -race -timeout 10m \
 		-run 'Chaos|Checkpoint|Resume|Fault|Quarantine|FailFast|OpRetries|Panic' \
 		./internal/synthweb/ ./internal/crawler/ ./internal/crawler/shard/ ./internal/dataflow/
+
+# Fleet fault-tolerance suite under the race detector: seeded crash
+# schedules (explicit points, random-rate replays, and the exhaustive
+# crash-at-every-(shard, round) sweep), stall detection, degraded-mode
+# completion, and the supervision-is-invisible clean-run gate — every
+# recovery byte-identical at DoP 1 and full DoP.
+supervisor-chaos:
+	$(GO) test -race -timeout 15m -count=1 \
+		./internal/crawler/shard/supervisor/
+	$(GO) test -race -timeout 10m -count=1 \
+		-run 'Crash|StepFault|CheckpointSilent|StepShard|RestartShard|Fence|DeliverMail|SentinelErrors' \
+		./internal/synthweb/ ./internal/crawler/ ./internal/crawler/shard/
 
 # Short fuzzing sessions over the HTML pipeline (seeds alone run as part
 # of `make test`).
@@ -86,6 +98,15 @@ bench-pr7:
 	$(GO) test -run=NONE -bench 'HotPath' -benchmem -benchtime 1000x . | tee /tmp/bench_pr7.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr7.out > BENCH_PR7.json
 
+# Regenerate the committed supervised-fleet baseline (BENCH_PR8.json):
+# the PR-6 DoP-4 fleet plan rerun under the shard supervisor with no
+# crash schedule. The gate (bench_pr8_test.go) pins the supervised
+# vdocs/s within 2% of BENCH_PR6's DoP-4 number — supervision off the
+# fault path is (virtually) free.
+bench-pr8:
+	$(GO) test -run=NONE -bench 'SupervisedShardCrawl' -benchtime 1x ./internal/crawler/shard/supervisor/ | tee /tmp/bench_pr8.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr8.out > BENCH_PR8.json
+
 # Enforce the committed allocs/op budgets with testing.AllocsPerRun —
 # the dynamic counterpart of the static allocfree/boxing/hotpathpurity
 # checks in `make lint`.
@@ -118,4 +139,4 @@ shard-determinism:
 	$(GO) test -run 'Deterministic|Matches|Identical|Partition|Reshard' \
 		./internal/crawler/shard/
 
-verify: build test vet lint race chaos trace-golden log-golden doctor-golden shard-determinism alloc-gate
+verify: build test vet lint race chaos supervisor-chaos trace-golden log-golden doctor-golden shard-determinism alloc-gate

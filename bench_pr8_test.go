@@ -1,0 +1,40 @@
+package webtextie
+
+// Gate over the committed supervised-fleet baseline (BENCH_PR8.json,
+// regenerated with `make bench-pr8`). The benchmark reruns the PR-6
+// DoP-4 fleet plan — a 12k-page budget against the ~1M-page web — under
+// the shard supervisor with no crash schedule. Off the fault path,
+// supervision is one silent barrier checkpoint per shard per round and
+// zero virtual time, so the supervised run's virtual throughput must sit
+// within 2% of the unsupervised BENCH_PR6 DoP-4 number. (In practice it
+// is byte-identical: clean-run supervision is output-invisible, so the
+// two vdocs/s figures coincide exactly; the 2% headroom only guards the
+// gate against future re-baselining noise.)
+
+import "testing"
+
+// TestBenchPR8SupervisionOverheadGate enforces the supervision-off
+// overhead contract on the committed numbers.
+func TestBenchPR8SupervisionOverheadGate(t *testing.T) {
+	pr6 := loadBenchMetrics(t, "BENCH_PR6.json")
+	pr8 := loadBenchMetrics(t, "BENCH_PR8.json")
+	base := pr6["BenchmarkShardCrawlDoP4"]
+	sup := pr8["BenchmarkSupervisedShardCrawlDoP4"]
+	if base == nil {
+		t.Fatal("BENCH_PR6.json is missing the DoP-4 benchmark; regenerate with `make bench-pr6`")
+	}
+	if sup == nil {
+		t.Fatal("BENCH_PR8.json is missing the supervised benchmark; regenerate with `make bench-pr8`")
+	}
+	if sup["webpages"] != base["webpages"] || sup["fetched"] != base["fetched"] {
+		t.Errorf("supervised bench ran a different plan: %.0f pages fetched of a %.0f-page web, want %.0f of %.0f",
+			sup["fetched"], sup["webpages"], base["fetched"], base["webpages"])
+	}
+	if sup["vdocs/s"] <= 0 || sup["ns/op"] <= 0 {
+		t.Fatalf("BENCH_PR8.json carries non-positive timings: %v", sup)
+	}
+	if min := base["vdocs/s"] * 0.98; sup["vdocs/s"] < min {
+		t.Errorf("supervised fleet throughput %.2f vdocs/s is below 98%% of the unsupervised %.2f; supervision off the fault path must be (virtually) free",
+			sup["vdocs/s"], base["vdocs/s"])
+	}
+}

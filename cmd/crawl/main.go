@@ -5,6 +5,8 @@
 //
 //	crawl [-hosts N] [-pages N] [-seed N] [-tunnel N] [-threshold P] [-metrics]
 //	      [-shards N] [-shard-workers N]
+//	      [-supervise] [-shard-recovery-budget N] [-shard-stall-factor F]
+//	      [-shard-crash-at S:R[:K],...] [-shard-crash-rate P] [-shard-crash-seed N] [-shard-crash-max-attempts N]
 //	      [-failure-rate P] [-dead-hosts P] [-slow-hosts P] [-ratelimit-hosts P] [-truncate-rate P]
 //	      [-max-retries N] [-breaker-failures N] [-breaker-open-ms N]
 //	      [-checkpoint FILE -checkpoint-cycles N] [-resume FILE]
@@ -19,6 +21,15 @@
 // enforced at round barriers. -checkpoint/-resume write and read a fleet
 // manifest of per-shard checkpoints; the shard count must match on
 // resume. -debug-addr is not available in sharded mode.
+//
+// -supervise runs the fleet under the fault-tolerant supervisor: shard
+// panics are caught, the shard is rolled back to its silent per-round
+// barrier checkpoint and re-stepped (byte-identical recovery), stragglers
+// are flagged via virtual-clock deadlines, and a shard that crashes past
+// its -shard-recovery-budget is fenced — the run completes degraded with
+// the missing host-hash partitions listed in the recovery summary and the
+// corpus manifest. The -shard-crash-* flags inject a deterministic crash
+// schedule (pure in the crash seed) and imply -supervise.
 //
 // -trace attaches the deterministic lineage recorder; -trace-out /
 // -trace-chrome write its end-of-run export (text, or Perfetto-loadable
@@ -44,9 +55,11 @@ import (
 	"webtextie/internal/crawldb"
 	"webtextie/internal/crawler"
 	"webtextie/internal/crawler/shard"
+	"webtextie/internal/crawler/shard/supervisor"
 	"webtextie/internal/graph"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/cliobs"
+	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
@@ -79,8 +92,37 @@ func main() {
 	resumeFile := flag.String("resume", "", "resume the crawl from a checkpoint FILE (same seed/flags as the original run)")
 	shards := flag.Int("shards", 1, "partition the frontier by host hash into N shards crawling in parallel")
 	shardWorkers := flag.Int("shard-workers", 0, "goroutines stepping shards per round (0 = one per shard; any value gives identical output)")
+	supervise := flag.Bool("supervise", false, "run the shard fleet under the fault-tolerant supervisor (implied by any -shard-crash-* flag)")
+	crashAt := flag.String("shard-crash-at", "", "inject crashes at comma-separated shard:round[:attempts] points (implies -supervise)")
+	crashRate := flag.Float64("shard-crash-rate", 0, "per-(shard, round) injected crash probability (implies -supervise)")
+	crashSeed := flag.Uint64("shard-crash-seed", 0, "seed for the random crash tier (0 = -seed)")
+	crashMaxAttempts := flag.Int("shard-crash-max-attempts", 1, "max step attempts a random crash point persists for")
+	recoveryBudget := flag.Int("shard-recovery-budget", supervisor.DefaultRecoveryBudget,
+		"checkpoint restarts granted each shard before it is fenced (degraded mode)")
+	stallFactor := flag.Float64("shard-stall-factor", 3,
+		"flag a shard stalled when its round clock advance exceeds this multiple of the fleet median (0 disables)")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+
+	crashPoints, err := synthweb.ParseCrashPoints(*crashAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crashPlan := &synthweb.CrashPlan{
+		Seed:        *crashSeed,
+		Rate:        *crashRate,
+		MaxAttempts: *crashMaxAttempts,
+		Points:      crashPoints,
+	}
+	if crashPlan.Seed == 0 {
+		crashPlan.Seed = *seed
+	}
+	if !crashPlan.Empty() {
+		*supervise = true
+	}
+	if *supervise && *shards <= 1 {
+		log.Fatal("crawl: -supervise and -shard-crash-* need a fleet; set -shards > 1")
+	}
 
 	lex := textgen.NewLexicon(rng.New(*seed), textgen.DefaultLexiconSizes(), 0.75)
 	gen := textgen.NewGenerator(*seed+1, lex, textgen.DefaultProfiles())
@@ -146,6 +188,10 @@ func main() {
 			resumeFile:   *resumeFile,
 			printMetrics: *metrics,
 			obsSetup:     obsSetup,
+			supervise:    *supervise,
+			crash:        crashPlan,
+			budget:       *recoveryBudget,
+			stallFactor:  *stallFactor,
 		})
 		return
 	}
@@ -267,6 +313,15 @@ func printReport(st crawler.Stats, ldb *crawldb.LinkDB) {
 	}
 }
 
+// mergeSnap folds an optional crawl-pillar snapshot with the always-on
+// supervision snapshot for doctor input.
+func mergeSnap[T any](crawl, sup *T, merge func(...*T) *T) *T {
+	if crawl == nil {
+		return sup
+	}
+	return merge(crawl, sup)
+}
+
 // shardedOpts carries the flag state into the -shards > 1 path.
 type shardedOpts struct {
 	seed         uint64
@@ -281,6 +336,10 @@ type shardedOpts struct {
 	resumeFile   string
 	printMetrics bool
 	obsSetup     *cliobs.Setup
+	supervise    bool
+	crash        *synthweb.CrashPlan
+	budget       int
+	stallFactor  float64
 }
 
 // runSharded drives the fleet: partitioned frontier, BSP rounds, merged
@@ -328,8 +387,28 @@ func runSharded(o shardedOpts) {
 		runner.Seed(o.seedURLs)
 	}
 
+	// round advances the fleet one superstep: supervised (panic recovery,
+	// checkpoint restart, stall detection, fencing) or plain.
+	var sup *supervisor.Supervisor
+	round := runner.Round
+	if o.supervise {
+		sup = supervisor.New(runner, supervisor.Config{
+			RecoveryBudget: o.budget,
+			StallFactor:    o.stallFactor,
+			Crash:          o.crash,
+			Seed:           o.seed,
+		})
+		round = func() bool {
+			cont, err := sup.Round()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return cont
+		}
+	}
+
 	if o.ckptFile != "" {
-		for i := 0; i < o.ckptRounds && runner.Round(); i++ {
+		for i := 0; i < o.ckptRounds && round(); i++ {
 		}
 		cp, err := runner.Checkpoint()
 		if err != nil {
@@ -349,7 +428,7 @@ func runSharded(o shardedOpts) {
 		return
 	}
 
-	for runner.Round() {
+	for round() {
 	}
 	res := runner.Finish()
 	workers := o.workers
@@ -358,9 +437,33 @@ func runSharded(o shardedOpts) {
 	}
 	fmt.Printf("sharded crawl: %d shards, %d workers, %d rounds\n",
 		o.shards, workers, res.Rounds)
+
+	// The recovery summary: what supervision did, and — loudly — which
+	// host-hash partitions a degraded run is missing.
+	var rep *supervisor.Report
+	if sup != nil {
+		rep = sup.Report()
+		fmt.Println()
+		if rep.Quiet() {
+			fmt.Println("fleet recovery: clean run, no supervisor intervention")
+		} else {
+			fmt.Print(rep.Summary(res.Degraded))
+		}
+	}
 	printReport(res.Stats, res.LinkDB)
 
-	summary, err := o.obsSetup.FinishWith(res.Traces, res.Logs, res.Metrics)
+	// Export files carry the crawl pillars only (byte-identical to an
+	// unsupervised run); the doctor diagnoses crawl and supervision
+	// pillars together.
+	var diag *doctor.Input
+	if rep != nil {
+		diag = &doctor.Input{
+			Metrics: res.Metrics.Merge(rep.Metrics),
+			Traces:  mergeSnap(res.Traces, rep.Traces, trace.Merge),
+			Logs:    mergeSnap(res.Logs, rep.Logs, evlog.Merge),
+		}
+	}
+	summary, err := o.obsSetup.FinishWithDoctor(res.Traces, res.Logs, res.Metrics, diag)
 	if summary != "" {
 		fmt.Println()
 		fmt.Print(summary)

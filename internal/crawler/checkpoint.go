@@ -51,7 +51,16 @@ type Checkpoint struct {
 
 // Checkpoint freezes the crawler's state. Call it between Step calls
 // (never mid-cycle). The result shares no mutable state with the crawler.
-func (c *Crawler) Checkpoint() *Checkpoint {
+func (c *Crawler) Checkpoint() *Checkpoint { return c.checkpoint(true) }
+
+// CheckpointSilent freezes the crawler's state without announcing the
+// boundary: no trace mark, no checkpoint.saved log record. Supervisors
+// take one of these at every round barrier as the shard's restart point;
+// a snapshot the operator never asked for must not alter the exports,
+// or a recovered run's logs would diverge from a fault-free run's.
+func (c *Crawler) CheckpointSilent() *Checkpoint { return c.checkpoint(false) }
+
+func (c *Crawler) checkpoint(announce bool) *Checkpoint {
 	cp := &Checkpoint{
 		Stats:       c.stats,
 		DB:          c.db.Snapshot(),
@@ -84,8 +93,10 @@ func (c *Crawler) Checkpoint() *Checkpoint {
 	if c.rec != nil {
 		// Record the boundary in the live recorder (visible on /traces and
 		// in end-of-run exports), then freeze without marks for the replay
-		// state.
-		c.rec.Mark("checkpoint", c.nowMs(), trace.Int("cycle", int64(c.stats.Cycles)))
+		// state. Silent checkpoints skip the live mark entirely.
+		if announce {
+			c.rec.Mark("checkpoint", c.nowMs(), trace.Int("cycle", int64(c.stats.Cycles)))
+		}
 		snap := c.rec.Snapshot()
 		snap.Marks = nil
 		cp.Traces = snap
@@ -94,8 +105,10 @@ func (c *Crawler) Checkpoint() *Checkpoint {
 		// Freeze the log stream first, then announce the boundary only to
 		// the live sink — the mirror of the Mark-stripping above.
 		cp.Logs = c.logs.Snapshot()
-		c.lg.checkpoint.Info("checkpoint.saved", c.nowMs(),
-			trace.Int("cycle", int64(c.stats.Cycles)))
+		if announce {
+			c.lg.checkpoint.Info("checkpoint.saved", c.nowMs(),
+				trace.Int("cycle", int64(c.stats.Cycles)))
+		}
 	}
 	return cp
 }

@@ -304,6 +304,11 @@ type Crawler struct {
 	// belongs to another shard (see WithRouter).
 	router func(url, host string, depth int) bool
 
+	// stepFault, when set, is invoked once per Step midway through the
+	// fetch cycle — after the first fetch has mutated crawl state (see
+	// WithStepFault).
+	stepFault func()
+
 	stats Stats
 	m     *metrics
 	// resumeMetrics remembers the checkpoint's metric snapshot so that
@@ -457,6 +462,17 @@ func (c *Crawler) entityDensity(text string) float64 {
 // chaining.
 func (c *Crawler) WithRouter(route func(url, host string, depth int) bool) *Crawler {
 	c.router = route
+	return c
+}
+
+// WithStepFault installs a fault-injection hook for supervised crawls:
+// f runs once per Step, mid-cycle — after the first fetch of the round
+// has already advanced the clock, metrics, and frontier, so a panic
+// raised by f leaves genuinely half-mutated state behind. A supervisor
+// arms it with a deterministic crash schedule and recovers the panic at
+// the shard boundary; nil disarms. Returns the crawler for chaining.
+func (c *Crawler) WithStepFault(f func()) *Crawler {
+	c.stepFault = f
 	return c
 }
 
@@ -630,11 +646,14 @@ func (c *Crawler) Finish() *Result {
 }
 
 func (c *Crawler) fetchCycle(list []crawldb.FetchItem) {
-	for _, item := range list {
+	for n, item := range list {
 		if c.cfg.MaxPages > 0 && c.stats.Fetched >= c.cfg.MaxPages {
 			return
 		}
 		c.fetchOne(item)
+		if n == 0 && c.stepFault != nil {
+			c.stepFault()
+		}
 	}
 }
 

@@ -10,11 +10,27 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"webtextie/internal/classify"
 	"webtextie/internal/crawler"
 	"webtextie/internal/synthweb"
+)
+
+// Sentinel errors for the rejection paths callers legitimately branch on
+// (errors.Is-testable). New and Resume wrap these with context.
+var (
+	// ErrReshard: the checkpoint's shard count differs from the config's.
+	// The partitioning is part of the crawl plan — resharding a frontier
+	// is a data migration, not a resume.
+	ErrReshard = errors.New("shard count differs from checkpoint (resharding is a data migration, not a resume)")
+	// ErrSelfTraining: SelfTraining mutates the shared classifier, which
+	// would make shards race on model updates and break DoP-independence.
+	ErrSelfTraining = errors.New("SelfTraining mutates the shared classifier; run it unsharded")
+	// ErrManifest: the checkpoint manifest is structurally inconsistent
+	// (crawler-state count does not match its own shard count).
+	ErrManifest = errors.New("checkpoint manifest is inconsistent")
 )
 
 // Checkpoint is a sharded crawl frozen at a round barrier: the fleet
@@ -23,6 +39,11 @@ type Checkpoint struct {
 	Shards  int  `json:"shards"`
 	Rounds  int  `json:"rounds"`
 	Stopped bool `json:"stopped"`
+	// Fenced lists shards that were fenced (degraded mode) when the
+	// checkpoint was taken, ascending. Omitted for healthy fleets.
+	Fenced []int `json:"fenced,omitempty"`
+	// Degraded carries the fencing records for the fenced shards.
+	Degraded []DegradedPartition `json:"degraded,omitempty"`
 	// Crawlers holds shard i's crawler.Checkpoint at index i.
 	Crawlers []json.RawMessage `json:"crawlers"`
 }
@@ -35,7 +56,13 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 		Shards:   r.cfg.Shards,
 		Rounds:   r.rounds,
 		Stopped:  r.stopped,
+		Degraded: append([]DegradedPartition(nil), r.degraded...),
 		Crawlers: make([]json.RawMessage, len(r.shards)),
+	}
+	for i, f := range r.fenced {
+		if f {
+			cp.Fenced = append(cp.Fenced, i)
+		}
 	}
 	for i, s := range r.shards {
 		data, err := s.c.Checkpoint().Marshal()
@@ -74,30 +101,37 @@ func Resume(cfg Config, newWeb func() *synthweb.Web, clf *classify.NaiveBayes, c
 		return nil, fmt.Errorf("shard: Shards = %d, want >= 1", cfg.Shards)
 	}
 	if cfg.Shards != cp.Shards {
-		return nil, fmt.Errorf("shard: checkpoint has %d shards, config wants %d", cp.Shards, cfg.Shards)
+		return nil, fmt.Errorf("shard: checkpoint has %d shards, config wants %d: %w",
+			cp.Shards, cfg.Shards, ErrReshard)
 	}
 	if len(cp.Crawlers) != cp.Shards {
-		return nil, fmt.Errorf("shard: checkpoint holds %d crawler states for %d shards",
-			len(cp.Crawlers), cp.Shards)
+		return nil, fmt.Errorf("shard: checkpoint holds %d crawler states for %d shards: %w",
+			len(cp.Crawlers), cp.Shards, ErrManifest)
 	}
 	if cfg.Crawl.SelfTraining {
-		return nil, fmt.Errorf("shard: SelfTraining mutates the shared classifier; run it unsharded")
+		return nil, fmt.Errorf("shard: %w", ErrSelfTraining)
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = cfg.Shards
 	}
-	r := &Runner{cfg: cfg, clf: clf, shards: make([]*shardState, cfg.Shards)}
+	r := newRunner(cfg, clf)
 	r.rounds = cp.Rounds
 	r.stopped = cp.Stopped
-	shardCfg := cfg.Crawl
-	shardCfg.MaxPages = 0
+	r.degraded = append([]DegradedPartition(nil), cp.Degraded...)
+	for _, i := range cp.Fenced {
+		if i < 0 || i >= cfg.Shards {
+			return nil, fmt.Errorf("shard: checkpoint fences shard %d of %d: %w",
+				i, cp.Shards, ErrManifest)
+		}
+		r.fenced[i] = true
+	}
 	for i := range r.shards {
 		ccp, err := crawler.UnmarshalCheckpoint(cp.Crawlers[i])
 		if err != nil {
 			return nil, fmt.Errorf("shard: parsing shard %d checkpoint: %w", i, err)
 		}
 		s := &shardState{idx: i, web: newWeb(), outbox: make([][]mail, cfg.Shards)}
-		s.c, err = crawler.Resume(shardCfg, s.web, clf, ccp)
+		s.c, err = crawler.Resume(r.shardCfg, s.web, clf, ccp)
 		if err != nil {
 			return nil, fmt.Errorf("shard: resuming shard %d: %w", i, err)
 		}

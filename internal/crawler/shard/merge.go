@@ -51,6 +51,27 @@ type Result struct {
 	Rounds int
 	// Stopped reports whether the fleet page budget ended the crawl.
 	Stopped bool
+	// Degraded lists host-hash partitions fenced out of the fleet, in
+	// fencing order; empty for a healthy run. A degraded corpus is still
+	// internally consistent — each fenced shard contributes its last
+	// barrier state — but its host coverage has known holes.
+	Degraded []DegradedPartition
+}
+
+// DegradedPartition records one host-hash partition the fleet lost: the
+// shard was fenced after its recovery budget ran out, and every URL in
+// its partition discovered afterwards was dropped.
+type DegradedPartition struct {
+	// Shard is the fenced partition's index (hosts with
+	// Of(host, S) == Shard are the missing population).
+	Shard int `json:"shard"`
+	// FencedAtRound is the fleet round count when the shard was fenced.
+	FencedAtRound int `json:"fenced_at_round"`
+	// PendingLost is the frontier size abandoned at fencing time.
+	PendingLost int `json:"pending_lost"`
+	// MailLost counts cross-shard discoveries dropped at barriers after
+	// fencing.
+	MailLost int `json:"mail_lost,omitempty"`
 }
 
 // Finish drains the fleet into a merged Result. When the crawl ended by
@@ -59,8 +80,11 @@ type Result struct {
 // emptiness (mail could still arrive), so the terminal mark happens here.
 func (r *Runner) Finish() *Result {
 	if !r.stopped {
-		for _, s := range r.shards {
-			if s.c.Pending() == 0 {
+		for i, s := range r.shards {
+			// A fenced shard's frontier was abandoned, not drained — it
+			// never records exhaustion, so the fleet-level
+			// FrontierEmptied flag stays false on degraded runs.
+			if !r.fenced[i] && s.c.Pending() == 0 {
 				s.c.MarkFrontierEmptied()
 			}
 		}
@@ -74,6 +98,7 @@ func (r *Runner) Finish() *Result {
 		PerShard: perShard,
 		Rounds:   r.rounds,
 		Stopped:  r.stopped,
+		Degraded: append([]DegradedPartition(nil), r.degraded...),
 	}
 	for i, res := range perShard {
 		out.Stats = mergeStats(out.Stats, res.Stats, i == 0)
@@ -150,6 +175,11 @@ func sortCorpus(pages []crawler.CrawledPage) {
 // net text — relevant pages first, each group URL-sorted. Two crawls
 // stored identical corpora iff their manifests are byte-identical; the
 // determinism and checkpoint suites compare this form.
+//
+// A degraded run appends one `deg` footer line per fenced partition, so
+// a manifest consumer cannot mistake a corpus with known coverage holes
+// for a complete one. Healthy runs emit no footer, keeping the form
+// byte-compatible with every pre-supervision manifest.
 func (res *Result) CorpusManifest() string {
 	var b strings.Builder
 	render := func(class string, pages []crawler.CrawledPage) {
@@ -162,5 +192,10 @@ func (res *Result) CorpusManifest() string {
 	}
 	render("rel", res.Relevant)
 	render("irr", res.IrrelevantPages)
+	shards := len(res.PerShard)
+	for _, d := range res.Degraded {
+		fmt.Fprintf(&b, "deg shard=%d/%d fenced_round=%d pending_lost=%d mail_lost=%d\n",
+			d.Shard, shards, d.FencedAtRound, d.PendingLost, d.MailLost)
+	}
 	return b.String()
 }

@@ -84,9 +84,25 @@ type shardState struct {
 
 // Runner drives a sharded crawl in rounds.
 type Runner struct {
-	cfg    Config
-	clf    *classify.NaiveBayes
-	shards []*shardState
+	cfg Config
+	// shardCfg is the per-shard crawler config actually installed: cfg.Crawl
+	// with MaxPages zeroed (the fleet budget is enforced at barriers).
+	// RestartShard rebuilds crashed shards from it.
+	shardCfg crawler.Config
+	clf      *classify.NaiveBayes
+	shards   []*shardState
+
+	// fenced marks shards a supervisor removed from the fleet after their
+	// recovery budget ran out; degraded records why. Fenced shards never
+	// step again and mail addressed to them is dropped at barriers.
+	fenced   []bool
+	degraded []DegradedPartition
+
+	// traceCfg/logCfg/matchers remember the observability and extension
+	// wiring so RestartShard can re-attach it to a rebuilt shard.
+	traceCfg *trace.Config
+	logCfg   *evlog.Config
+	matchers map[textgen.EntityType]*dict.Matcher
 
 	rounds   int
 	stopped  bool // fleet page budget reached
@@ -105,21 +121,33 @@ func New(cfg Config, newWeb func() *synthweb.Web, clf *classify.NaiveBayes) (*Ru
 		return nil, fmt.Errorf("shard: Shards = %d, want >= 1", cfg.Shards)
 	}
 	if cfg.Crawl.SelfTraining {
-		return nil, fmt.Errorf("shard: SelfTraining mutates the shared classifier; run it unsharded")
+		return nil, fmt.Errorf("shard: %w", ErrSelfTraining)
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = cfg.Shards
 	}
-	r := &Runner{cfg: cfg, clf: clf, shards: make([]*shardState, cfg.Shards)}
-	shardCfg := cfg.Crawl
-	shardCfg.MaxPages = 0 // the fleet budget is enforced at round barriers
+	r := newRunner(cfg, clf)
 	for i := range r.shards {
 		s := &shardState{idx: i, web: newWeb(), outbox: make([][]mail, cfg.Shards)}
-		s.c = crawler.New(shardCfg, s.web, clf)
+		s.c = crawler.New(r.shardCfg, s.web, clf)
 		r.installRouter(s)
 		r.shards[i] = s
 	}
 	return r, nil
+}
+
+// newRunner builds the fleet shell New and Resume share. Callers fill in
+// r.shards.
+func newRunner(cfg Config, clf *classify.NaiveBayes) *Runner {
+	shardCfg := cfg.Crawl
+	shardCfg.MaxPages = 0 // the fleet budget is enforced at round barriers
+	return &Runner{
+		cfg:      cfg,
+		shardCfg: shardCfg,
+		clf:      clf,
+		shards:   make([]*shardState, cfg.Shards),
+		fenced:   make([]bool, cfg.Shards),
+	}
 }
 
 // installRouter points a shard's crawler at the fleet: URLs whose host
@@ -142,6 +170,7 @@ func (r *Runner) installRouter(s *shardState) {
 // order. On a resumed runner each recorder loads its shard's checkpoint
 // snapshot. Returns the runner for chaining.
 func (r *Runner) WithTrace(cfg trace.Config) *Runner {
+	r.traceCfg = &cfg
 	for _, s := range r.shards {
 		s.rec = trace.NewRecorder(cfg)
 		s.c.WithTrace(s.rec)
@@ -154,6 +183,7 @@ func (r *Runner) WithTrace(cfg trace.Config) *Runner {
 // runner each sink loads its shard's checkpoint snapshot. Returns the
 // runner for chaining.
 func (r *Runner) WithLog(cfg evlog.Config) *Runner {
+	r.logCfg = &cfg
 	for _, s := range r.shards {
 		s.c.WithLog(evlog.NewSink(cfg))
 	}
@@ -163,6 +193,7 @@ func (r *Runner) WithLog(cfg evlog.Config) *Runner {
 // WithEntityMatchers shares the read-only entity dictionaries with every
 // shard (the EntityBoost extension). Returns the runner for chaining.
 func (r *Runner) WithEntityMatchers(m map[textgen.EntityType]*dict.Matcher) *Runner {
+	r.matchers = m
 	for _, s := range r.shards {
 		s.c.WithEntityMatchers(m)
 	}
@@ -170,7 +201,12 @@ func (r *Runner) WithEntityMatchers(m map[textgen.EntityType]*dict.Matcher) *Run
 }
 
 // Shard returns shard i's crawler (tests inspect per-shard state).
+// After RestartShard the previous crawler is gone — callers must not
+// cache the pointer across rounds under supervision.
 func (r *Runner) Shard(i int) *crawler.Crawler { return r.shards[i].c }
+
+// Shards returns the partition count S.
+func (r *Runner) Shards() int { return r.cfg.Shards }
 
 // Rounds returns the number of completed rounds.
 func (r *Runner) Rounds() int { return r.rounds }
@@ -198,29 +234,214 @@ func (r *Runner) Seed(seedURLs []string) {
 // whether the crawl should continue. Steps run on up to Parallelism
 // goroutines; shards touch no shared mutable state, so the interleaving
 // cannot influence any shard's history.
+//
+// Round is the unsupervised path: a panic in any shard propagates and
+// kills the whole fleet. The supervisor package composes the same
+// primitives (Active, StepShard, DeliverMail, EndRound) with panic
+// recovery and checkpoint-based restart instead.
 func (r *Runner) Round() bool {
 	if r.stopped || r.finished {
 		return false
 	}
-	var active []*shardState
-	for _, s := range r.shards {
-		if s.c.Pending() > 0 {
-			active = append(active, s)
-		}
-	}
+	active := r.Active()
 	if len(active) == 0 {
 		r.finished = true
 		return false
 	}
-	r.runSteps(active)
-	r.deliverMail()
+	r.ParallelOver(active, func(i int) { r.shards[i].c.Step() })
+	r.DeliverMail()
+	return r.EndRound()
+}
+
+// Active returns the indices of shards that should step this round:
+// unfenced, with pending frontier work. Ascending order.
+func (r *Runner) Active() []int {
+	var active []int
+	for i, s := range r.shards {
+		if !r.fenced[i] && s.c.Pending() > 0 {
+			active = append(active, i)
+		}
+	}
+	return active
+}
+
+// StepShard runs one crawl cycle on shard i, converting a panic anywhere
+// in the cycle into an error. On panic the shard's crawler is left
+// mid-cycle — internally inconsistent, holding partial state — and its
+// outbox may hold mail from the aborted cycle; the outbox is cleared here
+// (so no half-round mail ever leaks to the fleet) and the caller must
+// either RestartShard from a checkpoint or Fence the shard before the
+// fleet advances.
+func (r *Runner) StepShard(i int) (err error) {
+	s := r.shards[i]
+	defer func() {
+		if v := recover(); v != nil {
+			for d := range s.outbox {
+				s.outbox[d] = s.outbox[d][:0]
+			}
+			err = &StepPanicError{Shard: i, Value: v}
+		}
+	}()
+	s.c.Step()
+	return nil
+}
+
+// StepPanicError reports a panic captured inside one shard's crawl cycle.
+type StepPanicError struct {
+	Shard int
+	Value any // the recovered panic value
+}
+
+func (e *StepPanicError) Error() string {
+	return fmt.Sprintf("shard %d: step panicked: %v", e.Shard, e.Value)
+}
+
+// ParallelOver runs fn(i) for each listed shard index across the worker
+// pool and barriers on completion. Shard indices are disjoint and shards
+// share no mutable state, so fn invocations cannot race as long as each
+// touches only its own shard.
+func (r *Runner) ParallelOver(indices []int, fn func(i int)) {
+	workers := r.cfg.Parallelism
+	if workers > len(indices) {
+		workers = len(indices)
+	}
+	if workers <= 1 {
+		for _, i := range indices {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for _, i := range indices {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// BarrierCheckpoint freezes shard i silently — no trace mark, no
+// checkpoint.saved record — and returns the serialized checkpoint. This
+// is the supervisor's per-round restart point; it must not perturb the
+// exports, or a supervised fault-free run would diverge from an
+// unsupervised one.
+func (r *Runner) BarrierCheckpoint(i int) ([]byte, error) {
+	return r.shards[i].c.CheckpointSilent().Marshal()
+}
+
+// RestartShard discards shard i's crawler and rebuilds it from a
+// serialized checkpoint taken by BarrierCheckpoint (or Checkpoint). The
+// shard's web is reused — its only mutations (fetch counter, lazy page
+// cache) are invisible to crawl output — and the fleet's router,
+// matchers, trace recorder, and log sink are re-attached, with the
+// recorder and sink reloading the checkpoint's snapshots. Because shard
+// state is pure in (config, checkpoint), the rebuilt shard replays the
+// rounds after the checkpoint exactly as the crashed one would have.
+// Safe to call concurrently for distinct shards.
+func (r *Runner) RestartShard(i int, ckpt []byte) error {
+	cp, err := crawler.UnmarshalCheckpoint(ckpt)
+	if err != nil {
+		return fmt.Errorf("shard %d: restart: %w", i, err)
+	}
+	s := r.shards[i]
+	c, err := crawler.Resume(r.shardCfg, s.web, r.clf, cp)
+	if err != nil {
+		return fmt.Errorf("shard %d: restart: %w", i, err)
+	}
+	s.c = c
+	for d := range s.outbox {
+		s.outbox[d] = s.outbox[d][:0]
+	}
+	r.installRouter(s)
+	if r.traceCfg != nil {
+		s.rec = trace.NewRecorder(*r.traceCfg)
+		c.WithTrace(s.rec)
+	}
+	if r.logCfg != nil {
+		c.WithLog(evlog.NewSink(*r.logCfg))
+	}
+	if r.matchers != nil {
+		c.WithEntityMatchers(r.matchers)
+	}
+	return nil
+}
+
+// Fence permanently removes shard i from the fleet: it never steps
+// again, mail addressed to it is dropped at barriers, and the loss is
+// recorded so Result and CorpusManifest can report the missing
+// partition instead of silently shrinking the corpus. The caller should
+// first RestartShard from the last good checkpoint so the fenced
+// shard's contribution to the merged corpus is a consistent barrier
+// state, not a half-stepped one.
+func (r *Runner) Fence(i int) {
+	if r.fenced[i] {
+		return
+	}
+	r.fenced[i] = true
+	r.degraded = append(r.degraded, DegradedPartition{
+		Shard:         i,
+		FencedAtRound: r.rounds,
+		PendingLost:   r.shards[i].c.Pending(),
+	})
+}
+
+// Fenced reports whether shard i has been fenced.
+func (r *Runner) Fenced(i int) bool { return r.fenced[i] }
+
+// DeliverMail drains every outbox in (destination, source, discovery)
+// order — a fixed order, so frontier insertion sequences are identical
+// across runs and degrees of parallelism. Mail addressed to a fenced
+// shard is dropped; the count of dropped insertions is returned and
+// accumulated on the destination's DegradedPartition record.
+func (r *Runner) DeliverMail() int {
+	dropped := 0
+	for dst := range r.shards {
+		for _, src := range r.shards {
+			if r.fenced[dst] {
+				if n := len(src.outbox[dst]); n > 0 {
+					dropped += n
+					r.addMailLost(dst, n)
+				}
+			} else {
+				for _, m := range src.outbox[dst] {
+					r.shards[dst].c.InjectURL(m.URL, m.Depth)
+				}
+			}
+			src.outbox[dst] = src.outbox[dst][:0]
+		}
+	}
+	return dropped
+}
+
+func (r *Runner) addMailLost(shard, n int) {
+	for j := range r.degraded {
+		if r.degraded[j].Shard == shard {
+			r.degraded[j].MailLost += n
+			return
+		}
+	}
+}
+
+// EndRound closes the current superstep: advances the round counter,
+// enforces the fleet page budget, and checks whether any live shard
+// still has work. Returns true if the crawl should continue.
+func (r *Runner) EndRound() bool {
 	r.rounds++
 	if max := r.cfg.Crawl.MaxPages; max > 0 && r.totalFetched() >= max {
 		r.stopped = true
 		return false
 	}
-	for _, s := range r.shards {
-		if s.c.Pending() > 0 {
+	for i, s := range r.shards {
+		if !r.fenced[i] && s.c.Pending() > 0 {
 			return true
 		}
 	}
@@ -228,52 +449,17 @@ func (r *Runner) Round() bool {
 	return false
 }
 
-// runSteps executes one Step per active shard across the worker pool and
-// barriers on completion.
-func (r *Runner) runSteps(active []*shardState) {
-	workers := r.cfg.Parallelism
-	if workers > len(active) {
-		workers = len(active)
-	}
-	if workers <= 1 {
-		for _, s := range active {
-			s.c.Step()
-		}
-		return
-	}
-	work := make(chan *shardState)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				s.c.Step()
-			}
-		}()
-	}
-	for _, s := range active {
-		work <- s
-	}
-	close(work)
-	wg.Wait()
-}
+// Done reports whether the crawl has ended (budget reached or all live
+// frontiers drained).
+func (r *Runner) Done() bool { return r.stopped || r.finished }
 
-// deliverMail drains every outbox in (destination, source, discovery)
-// order — a fixed order, so frontier insertion sequences are identical
-// across runs and degrees of parallelism.
-func (r *Runner) deliverMail() {
-	for dst := range r.shards {
-		for _, src := range r.shards {
-			for _, m := range src.outbox[dst] {
-				r.shards[dst].c.InjectURL(m.URL, m.Depth)
-			}
-			src.outbox[dst] = src.outbox[dst][:0]
-		}
-	}
-}
+// MarkDrained records that the fleet found no active shard at round
+// entry (supervised loops call this where Round sets finished).
+func (r *Runner) MarkDrained() { r.finished = true }
 
 // totalFetched sums fetched pages across the fleet (read at barriers).
+// Fenced shards still count: their pages were genuinely fetched and are
+// genuinely in the merged corpus.
 func (r *Runner) totalFetched() int {
 	total := 0
 	for _, s := range r.shards {

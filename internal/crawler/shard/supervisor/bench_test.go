@@ -1,0 +1,48 @@
+// The PR-8 bench: the PR-6 fleet plan (a 12k-page budget against the
+// ~1M-page web, 4 shards at DoP 4) run under supervision with no crash
+// schedule. Supervision off the fault path costs one silent checkpoint
+// per shard per round and zero virtual time, so the gated metric —
+// virtual throughput (vdocs/s) — must match the unsupervised BENCH_PR6
+// DoP-4 number within 2% (see bench_pr8_test.go at the repo root).
+
+package supervisor
+
+import (
+	"testing"
+
+	"webtextie/internal/crawler"
+	"webtextie/internal/crawler/shard"
+	"webtextie/internal/synthweb"
+)
+
+func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
+	e := newEnv(b, 1, func(c *synthweb.Config) {
+		*c = synthweb.ScaledConfig(1, 36)
+	})
+	webPages := e.newWeb().TotalPages()
+	cfg := shard.Config{Crawl: crawler.DefaultConfig(), Shards: 4, Parallelism: 4}
+	cfg.Crawl.MaxPages = 12_000
+	b.ResetTimer()
+	var res *shard.Result
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		r, err := shard.New(cfg, e.newWeb, e.clf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup := New(r, Config{RecoveryBudget: DefaultRecoveryBudget, Seed: 7})
+		if res, err = sup.Run(e.seeds); err != nil {
+			b.Fatal(err)
+		}
+		rep = sup.Report()
+	}
+	if res.Stats.Fetched < cfg.Crawl.MaxPages {
+		b.Fatalf("fetched %d pages, want the full %d budget", res.Stats.Fetched, cfg.Crawl.MaxPages)
+	}
+	if !rep.Quiet() {
+		b.Fatalf("clean bench run drew supervisor intervention: %+v", rep)
+	}
+	b.ReportMetric(float64(res.Stats.Fetched)*1000/float64(res.Stats.VirtualMs), "vdocs/s")
+	b.ReportMetric(float64(webPages), "webpages")
+	b.ReportMetric(float64(res.Stats.Fetched), "fetched")
+}

@@ -1,0 +1,328 @@
+package supervisor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"webtextie/internal/classify"
+	"webtextie/internal/crawler"
+	"webtextie/internal/crawler/shard"
+	"webtextie/internal/obs/doctor"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+	"webtextie/internal/rng"
+	"webtextie/internal/seeds"
+	"webtextie/internal/synthweb"
+	"webtextie/internal/textgen"
+)
+
+// env mirrors the shard package's test environment: a web factory (each
+// shard owns a private universe), a shared read-only classifier, seeds.
+type env struct {
+	webCfg synthweb.Config
+	clf    *classify.NaiveBayes
+	seeds  []string
+}
+
+func (e *env) newWeb() *synthweb.Web {
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 500, Drugs: 150, Diseases: 150}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	return synthweb.New(e.webCfg, gen)
+}
+
+func newEnv(t testing.TB, hosts int, mutate func(*synthweb.Config)) *env {
+	t.Helper()
+	e := &env{}
+	e.webCfg = synthweb.DefaultConfig()
+	e.webCfg.NumHosts = hosts
+	if mutate != nil {
+		mutate(&e.webCfg)
+	}
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 500, Drugs: 150, Diseases: 150}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	e.clf = classify.New()
+	r := rng.New(3)
+	for i := 0; i < 300; i++ {
+		e.clf.Learn(gen.Doc(r, textgen.Medline, fmt.Sprint("m", i)).Text, classify.Relevant)
+		e.clf.Learn(gen.Doc(r, textgen.Irrelevant, fmt.Sprint("w", i)).Text, classify.Irrelevant)
+	}
+	catalog := seeds.BuildCatalog(4, lex, seeds.CatalogSizes{General: 10, Disease: 60, Drug: 40, Gene: 80})
+	e.seeds = seeds.Generate(seeds.DefaultEngines(5, e.newWeb()), catalog).SeedURLs
+	return e
+}
+
+// fleetCfg is the shared fleet shape of this suite: small cycles force a
+// multi-round run so there are rounds to crash in.
+func fleetCfg(shards, parallelism int) shard.Config {
+	cfg := shard.Config{Crawl: crawler.DefaultConfig(), Shards: shards, Parallelism: parallelism}
+	cfg.Crawl.MaxPages = 480
+	cfg.Crawl.FetchListSize = 40
+	return cfg
+}
+
+// exports bundles every byte surface of the crawl pillars.
+type exports struct {
+	corpus  string
+	metrics string
+	traces  string
+	logs    string
+	stats   crawler.Stats
+	rounds  int
+}
+
+func exportsOf(t *testing.T, res *shard.Result) exports {
+	t.Helper()
+	return exports{
+		corpus:  res.CorpusManifest(),
+		metrics: res.Metrics.Text(),
+		traces:  res.Traces.Text(),
+		logs:    res.Logs.Logfmt(),
+		stats:   res.Stats,
+		rounds:  res.Rounds,
+	}
+}
+
+func diffExports(t *testing.T, label string, want, got exports) {
+	t.Helper()
+	check := func(surface, w, g string) {
+		if w != g {
+			i := 0
+			for i < len(w) && i < len(g) && w[i] == g[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			clip := func(s string) string {
+				if i+80 < len(s) {
+					return s[lo : i+80]
+				}
+				return s[lo:]
+			}
+			t.Errorf("%s: %s export differs at byte %d\nwant ...%q...\ngot  ...%q...",
+				label, surface, i, clip(w), clip(g))
+		}
+	}
+	check("corpus", want.corpus, got.corpus)
+	check("metrics", want.metrics, got.metrics)
+	check("trace", want.traces, got.traces)
+	check("log", want.logs, got.logs)
+	if want.stats != got.stats {
+		t.Errorf("%s: stats differ:\nwant %+v\ngot  %+v", label, want.stats, got.stats)
+	}
+	if want.rounds != got.rounds {
+		t.Errorf("%s: rounds differ: want %d, got %d", label, want.rounds, got.rounds)
+	}
+}
+
+func newFleet(t *testing.T, e *env, cfg shard.Config) *shard.Runner {
+	t.Helper()
+	r, err := shard.New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WithTrace(trace.DefaultConfig(7)).WithLog(evlog.DefaultConfig(7))
+	return r
+}
+
+// runPlain runs the unsupervised fleet.
+func runPlain(t *testing.T, e *env, cfg shard.Config) exports {
+	t.Helper()
+	return exportsOf(t, newFleet(t, e, cfg).Run(e.seeds))
+}
+
+// runSupervised runs the supervised fleet and returns its exports and
+// the supervision report.
+func runSupervised(t *testing.T, e *env, cfg shard.Config, scfg Config) (exports, *Report, *shard.Result) {
+	t.Helper()
+	sup := New(newFleet(t, e, cfg), scfg)
+	res, err := sup.Run(e.seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exportsOf(t, res), sup.Report(), res
+}
+
+// TestSupervisionIsInvisibleOnCleanRuns: with no faults, a supervised
+// fleet's exports are byte-identical to an unsupervised one's — the
+// silent barrier checkpoints leave no residue in any pillar.
+func TestSupervisionIsInvisibleOnCleanRuns(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	base := runPlain(t, e, fleetCfg(3, 1))
+	if base.rounds < 2 {
+		t.Fatalf("need a multi-round fleet, got %d rounds", base.rounds)
+	}
+	for _, dop := range []int{1, 3} {
+		got, rep, _ := runSupervised(t, e, fleetCfg(3, dop), Config{RecoveryBudget: 3, Seed: 7})
+		diffExports(t, fmt.Sprintf("supervised DoP %d", dop), base, got)
+		if !rep.Quiet() {
+			t.Errorf("DoP %d: clean run report not quiet: %+v", dop, rep)
+		}
+	}
+}
+
+// TestCrashRecoveryByteIdentical is the chaos determinism gate: under an
+// injected crash schedule whose recovery budget is not exhausted, the
+// merged corpus, metrics, trace, and log exports are byte-identical to
+// the fault-free run's — at DoP 1 and DoP 4.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	base := runPlain(t, e, fleetCfg(4, 1))
+	if base.rounds < 3 {
+		t.Fatalf("need >= 3 rounds to place the crash schedule, got %d", base.rounds)
+	}
+	crash := &synthweb.CrashPlan{Points: []synthweb.CrashPoint{
+		{Shard: 0, Round: 1, Attempts: 1},
+		{Shard: 2, Round: 1, Attempts: 2}, // crash the recovered shard again
+		{Shard: 1, Round: 2, Attempts: 1},
+	}}
+	for _, dop := range []int{1, 4} {
+		got, rep, _ := runSupervised(t, e, fleetCfg(4, dop),
+			Config{RecoveryBudget: 3, Crash: crash, Seed: 7})
+		diffExports(t, fmt.Sprintf("chaos DoP %d", dop), base, got)
+		if rep.Crashes == 0 {
+			t.Fatalf("DoP %d: crash schedule never fired", dop)
+		}
+		if len(rep.Fenced) != 0 {
+			t.Errorf("DoP %d: budget 3 should recover everything, fenced %v", dop, rep.Fenced)
+		}
+		if rep.Restarts[0] == 0 || rep.Restarts[2] == 0 {
+			t.Errorf("DoP %d: expected restarts on shards 0 and 2, got %v", dop, rep.Restarts)
+		}
+	}
+}
+
+// TestRandomCrashScheduleReplayable: the seeded random crash tier is
+// pure in the plan, so two supervised runs under the same plan agree on
+// every export byte and on the supervision history — at any DoP.
+func TestRandomCrashScheduleReplayable(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	crash := &synthweb.CrashPlan{Seed: 99, Rate: 0.25, MaxAttempts: 2}
+	a, repA, _ := runSupervised(t, e, fleetCfg(3, 1), Config{RecoveryBudget: 5, Crash: crash, Seed: 7})
+	if repA.Crashes == 0 {
+		t.Skip("rate 0.25 scheduled no crashes in this run shape; nothing to replay")
+	}
+	for _, dop := range []int{1, 3} {
+		b, repB, _ := runSupervised(t, e, fleetCfg(3, dop), Config{RecoveryBudget: 5, Crash: crash, Seed: 7})
+		diffExports(t, fmt.Sprintf("replay DoP %d", dop), a, b)
+		if repA.Crashes != repB.Crashes || fmt.Sprint(repA.Restarts) != fmt.Sprint(repB.Restarts) {
+			t.Errorf("DoP %d: supervision history diverged: %d/%v vs %d/%v",
+				dop, repA.Crashes, repA.Restarts, repB.Crashes, repB.Restarts)
+		}
+	}
+}
+
+// TestDegradedCompletion: a shard crashing past its recovery budget is
+// fenced; the run still completes, deterministically at any DoP, with
+// the missing partition enumerated everywhere it matters.
+func TestDegradedCompletion(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	crash := &synthweb.CrashPlan{Points: []synthweb.CrashPoint{
+		{Shard: 1, Round: 1, Attempts: 1000}, // poisoned: never clears
+	}}
+	scfg := Config{RecoveryBudget: 2, Crash: crash, Seed: 7}
+	base, rep, res := runSupervised(t, e, fleetCfg(3, 1), scfg)
+
+	if len(rep.Fenced) != 1 || rep.Fenced[0] != 1 {
+		t.Fatalf("Fenced = %v, want [1]", rep.Fenced)
+	}
+	if rep.Restarts[1] != 2 {
+		t.Errorf("fenced shard got %d restarts, want its full budget 2", rep.Restarts[1])
+	}
+	if rep.Crashes != 3 {
+		t.Errorf("crashes = %d, want budget+1 = 3", rep.Crashes)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0].Shard != 1 || res.Degraded[0].FencedAtRound != 1 {
+		t.Fatalf("Degraded = %+v, want shard 1 fenced at round 1", res.Degraded)
+	}
+	if !strings.Contains(base.corpus, "deg shard=1/3 fenced_round=1") {
+		t.Error("corpus manifest lacks the deg footer for shard 1")
+	}
+	if res.Stats.FrontierEmptied {
+		t.Error("degraded run claims an emptied frontier")
+	}
+	if res.Stats.Fetched == 0 {
+		t.Error("degraded run fetched nothing — survivors did not finish")
+	}
+	sum := rep.Summary(res.Degraded)
+	if !strings.Contains(sum, "DEGRADED: partition 1") {
+		t.Errorf("summary lacks the degraded banner:\n%s", sum)
+	}
+
+	// Degraded completion is itself deterministic: same schedule, DoP 3.
+	got, _, _ := runSupervised(t, e, fleetCfg(3, 3), scfg)
+	diffExports(t, "degraded DoP 3", base, got)
+}
+
+// TestStallDetectionDeterministic: slow hosts skew per-round clock
+// advances; the straggler flags are pure functions of the run, so two
+// runs at different DoP agree exactly.
+func TestStallDetectionDeterministic(t *testing.T) {
+	e := newEnv(t, 60, func(c *synthweb.Config) { c.SlowHostShare = 0.3 })
+	scfg := Config{RecoveryBudget: 3, StallFactor: 1.5, Seed: 7}
+	a, repA, _ := runSupervised(t, e, fleetCfg(3, 1), scfg)
+	b, repB, _ := runSupervised(t, e, fleetCfg(3, 3), scfg)
+	diffExports(t, "stall DoP 3", a, b)
+	if fmt.Sprint(repA.Stalls) != fmt.Sprint(repB.Stalls) {
+		t.Errorf("stall history diverged: %v vs %v", repA.Stalls, repB.Stalls)
+	}
+	if repA.Crashes != 0 {
+		t.Errorf("stall run observed %d crashes, want 0", repA.Crashes)
+	}
+}
+
+// TestSupervisionPillarsAndDoctor: supervision events land in the
+// supervisor's own pillars (fleet.* metrics, fleet.supervisor logs,
+// shard.* marks), the crawl pillars stay clean, and the merged view
+// triggers the shard-crash-loop and degraded-completion doctor rules.
+func TestSupervisionPillarsAndDoctor(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	crash := &synthweb.CrashPlan{Points: []synthweb.CrashPoint{
+		{Shard: 0, Round: 1, Attempts: 1},
+		{Shard: 1, Round: 1, Attempts: 1000},
+	}}
+	got, rep, res := runSupervised(t, e, fleetCfg(3, 1),
+		Config{RecoveryBudget: 1, Crash: crash, Seed: 7})
+
+	if strings.Contains(got.logs, "fleet.supervisor") {
+		t.Error("supervision records leaked into the crawl log export")
+	}
+	if rep.Metrics.Counter("fleet.shard.crashes") == 0 {
+		t.Error("fleet.shard.crashes counter is zero")
+	}
+	if rep.Metrics.Counter("fleet.shard.fenced") != 1 {
+		t.Errorf("fleet.shard.fenced = %d, want 1", rep.Metrics.Counter("fleet.shard.fenced"))
+	}
+	if !strings.Contains(rep.Logs.Logfmt(), "shard.restart") {
+		t.Error("supervision log lacks shard.restart records")
+	}
+	if !strings.Contains(rep.Logs.Logfmt(), "shard.fenced") {
+		t.Error("supervision log lacks the shard.fenced record")
+	}
+	marks := rep.Traces.Marks
+	found := map[string]bool{}
+	for _, m := range marks {
+		found[m.Name] = true
+	}
+	if !found["shard.restart"] || !found["shard.fenced"] {
+		t.Errorf("supervision trace marks %v lack shard.restart/shard.fenced", found)
+	}
+
+	diag := doctor.Diagnose(doctor.Input{
+		Metrics: res.Metrics.Merge(rep.Metrics),
+		Traces:  trace.Merge(res.Traces, rep.Traces),
+		Logs:    evlog.Merge(res.Logs, rep.Logs),
+	})
+	rules := map[string]bool{}
+	for _, f := range diag.Findings {
+		rules[f.Rule] = true
+	}
+	if !rules["shard-crash-loop"] {
+		t.Error("merged diagnosis lacks shard-crash-loop")
+	}
+	if !rules["degraded-completion"] {
+		t.Error("merged diagnosis lacks degraded-completion")
+	}
+}

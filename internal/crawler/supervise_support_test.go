@@ -1,0 +1,144 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/trace"
+)
+
+// TestCheckpointSilentLeavesNoResidue: supervision snapshots a crawler
+// every round; those snapshots must not alter any export. An announcing
+// Checkpoint leaves a checkpoint.saved log record and a trace mark — a
+// CheckpointSilent leaves neither, so a run peppered with silent
+// checkpoints exports the same bytes as an untouched run.
+func TestCheckpointSilentLeavesNoResidue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 150
+	traceCfg := trace.DefaultConfig(9)
+	logCfg := evlog.DefaultConfig(9)
+
+	run := func(snapshot func(*Crawler)) (string, string) {
+		p := chaosPipeline(t, 40, chaosWeb)
+		rec := trace.NewRecorder(traceCfg)
+		c := New(cfg, p.web, p.clf).WithTrace(rec).WithLog(evlog.NewSink(logCfg))
+		c.Seed(defaultSeeds(t, p))
+		for c.Step() {
+			if snapshot != nil {
+				snapshot(c)
+			}
+		}
+		res := c.Finish()
+		return res.Logs.Logfmt(), rec.Snapshot().Text()
+	}
+
+	logsRef, tracesRef := run(nil)
+	logsSilent, tracesSilent := run(func(c *Crawler) { c.CheckpointSilent() })
+	if logsSilent != logsRef {
+		t.Error("CheckpointSilent altered the log export")
+	}
+	if tracesSilent != tracesRef {
+		t.Error("CheckpointSilent altered the trace export")
+	}
+
+	logsLoud, _ := run(func(c *Crawler) { c.Checkpoint() })
+	if !strings.Contains(logsLoud, "checkpoint.saved") {
+		t.Error("announcing Checkpoint left no checkpoint.saved record")
+	}
+	if logsLoud == logsRef {
+		t.Error("announcing Checkpoint was expected to alter the log export")
+	}
+}
+
+// TestStepFaultFiresOncePerCycle: the supervision crash hook fires once
+// per Step, after the first fetch has already mutated crawl state —
+// a panic there leaves a genuinely half-stepped crawler, which is what
+// checkpoint rollback must be able to undo. Clearing the hook stops it.
+func TestStepFaultFiresOncePerCycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 100
+	cfg.FetchListSize = 40 // small cycles so the budget spans several Steps
+	p := chaosPipeline(t, 40, nil)
+	c := New(cfg, p.web, p.clf)
+	c.Seed(defaultSeeds(t, p))
+
+	fired := 0
+	var fetchedAtFire int
+	c.WithStepFault(func() {
+		fired++
+		fetchedAtFire = c.stats.Fetched
+	})
+	fetchedBefore := c.stats.Fetched
+	if !c.Step() {
+		t.Fatal("first step ended the crawl")
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times in one cycle, want 1", fired)
+	}
+	if fetchedAtFire != fetchedBefore+1 {
+		t.Errorf("hook fired with %d pages fetched, want mid-cycle after the first fetch (%d)",
+			fetchedAtFire, fetchedBefore+1)
+	}
+	c.Step()
+	if fired != 2 {
+		t.Fatalf("hook fired %d times over two cycles, want 2", fired)
+	}
+	c.WithStepFault(nil)
+	c.Step()
+	if fired != 2 {
+		t.Error("cleared hook still fired")
+	}
+}
+
+// TestStepFaultPanicIsRecoverable: a panic from the hook mid-cycle, then
+// a Resume from the pre-crash checkpoint, replays the interrupted cycle
+// to the same final stats as a run that never crashed.
+func TestStepFaultPanicIsRecoverable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 120
+	cfg.FetchListSize = 40 // the crash must land mid-run, not after the budget
+	seedsOf := func(p *pipeline) []string { return defaultSeeds(t, p) }
+
+	p1 := chaosPipeline(t, 40, chaosWeb)
+	ref := New(cfg, p1.web, p1.clf).Run(seedsOf(p1))
+
+	p2 := chaosPipeline(t, 40, chaosWeb)
+	c := New(cfg, p2.web, p2.clf)
+	c.Seed(seedsOf(p2))
+	if !c.Step() {
+		t.Fatal("first step ended the crawl")
+	}
+	raw, err := c.CheckpointSilent().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WithStepFault(func() { panic("OOM-killed mid-cycle") })
+	crashed := func() (v any) {
+		defer func() { v = recover() }()
+		c.Step()
+		return nil
+	}()
+	if crashed != "OOM-killed mid-cycle" {
+		t.Fatalf("expected the injected panic, got %v", crashed)
+	}
+
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := chaosPipeline(t, 40, chaosWeb)
+	rc, err := Resume(cfg, p3.web, p3.clf, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rc.Step() {
+	}
+	got := rc.Finish()
+	if got.Stats != ref.Stats {
+		t.Fatalf("recovered stats diverge:\nwant %+v\ngot  %+v", ref.Stats, got.Stats)
+	}
+	if got.Metrics.Text() != ref.Metrics.Text() {
+		t.Error("recovered metric export diverges")
+	}
+}

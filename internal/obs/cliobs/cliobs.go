@@ -117,6 +117,17 @@ func (s *Setup) Finish() (string, error) {
 // and log snapshots and diagnosing the given metric snapshot. Nil pillar
 // snapshots are treated as "flag off".
 func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, metrics obs.Snapshot) (string, error) {
+	return s.FinishWithDoctor(traceSnap, logSnap, metrics, nil)
+}
+
+// FinishWithDoctor is FinishWith with a separate doctor input: the
+// export files and tallies render from the pillar snapshots, while the
+// -doctor diagnosis reads diag. A supervised sharded crawl uses this to
+// diagnose the crawl and supervision pillars together without letting
+// supervision events into the crawl export files (which must stay
+// byte-identical to an unsupervised run's). A nil diag diagnoses the
+// export snapshots themselves.
+func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, metrics obs.Snapshot, diag *doctor.Input) (string, error) {
 	var b strings.Builder
 	if traceSnap != nil {
 		counts := traceSnap.ErrClassCounts()
@@ -159,11 +170,14 @@ func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, m
 		}
 	}
 	if *s.f.DoctorOn {
-		rep := doctor.Diagnose(doctor.Input{
-			Metrics: metrics,
-			Traces:  traceSnap,
-			Logs:    logSnap,
-		})
+		if diag == nil {
+			diag = &doctor.Input{
+				Metrics: metrics,
+				Traces:  traceSnap,
+				Logs:    logSnap,
+			}
+		}
+		rep := doctor.Diagnose(*diag)
 		b.WriteByte('\n')
 		b.WriteString(rep.Text())
 	}

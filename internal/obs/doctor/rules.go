@@ -28,6 +28,8 @@ var rules = []func(Input) []Finding{
 	filterDominance,
 	quarantineHeavyOps,
 	opPanics,
+	shardCrashLoop,
+	degradedCompletion,
 	errorBurst,
 	logShedding,
 }
@@ -313,6 +315,67 @@ func opPanics(in Input) []Finding {
 		})
 	}
 	return out
+}
+
+// shardCrashLoop fires when the fleet supervisor recovered shard
+// crashes: the run survived, but something is panicking workers — the
+// fleet-level analogue of opPanics. Critical once any shard burned its
+// whole recovery budget (a poisoned partition, not a transient fault).
+func shardCrashLoop(in Input) []Finding {
+	crashes := in.Metrics.Counter("fleet.shard.crashes")
+	if crashes == 0 {
+		return nil
+	}
+	restarts := in.Metrics.Counter("fleet.shard.restarts")
+	fenced := in.Metrics.Counter("fleet.shard.fenced")
+	sev := Warning
+	if fenced > 0 {
+		sev = Critical
+	}
+	f := Finding{
+		Rule:     "shard-crash-loop",
+		Severity: sev,
+		Score:    ratio(crashes, crashes+5),
+		Summary: fmt.Sprintf("fleet supervisor caught %d shard crash(es): %d checkpoint restart(s), %d shard(s) fenced",
+			crashes, restarts, fenced),
+		Evidence: []string{
+			fmt.Sprintf("fleet.shard.crashes=%d fleet.shard.restarts=%d fleet.shard.fenced=%d",
+				crashes, restarts, fenced),
+		},
+	}
+	if n := in.logTotal(evlog.Warn, "fleet.supervisor"); n > 0 {
+		f.Evidence = append(f.Evidence,
+			fmt.Sprintf("event log holds %d supervisor warnings (see /logs?component=fleet.supervisor)", n))
+	}
+	return []Finding{f}
+}
+
+// degradedCompletion fires when the run finished without part of its
+// host-hash space: shards fenced after exhausting their recovery budget
+// mean the corpus has known coverage holes — loud, per the paper's
+// silently-shrinking-corpus warning, never silent.
+func degradedCompletion(in Input) []Finding {
+	fenced := in.Metrics.Counter("fleet.shard.fenced")
+	if fenced == 0 {
+		return nil
+	}
+	dropped := in.Metrics.Counter("fleet.mail.dropped")
+	f := Finding{
+		Rule:     "degraded-completion",
+		Severity: Critical,
+		Score:    1,
+		Summary: fmt.Sprintf("run completed DEGRADED: %d host-hash partition(s) fenced, %d cross-shard discoveries dropped",
+			fenced, dropped),
+		Evidence: []string{
+			fmt.Sprintf("fleet.shard.fenced=%d fleet.mail.dropped=%d", fenced, dropped),
+			"corpus manifest carries `deg` footer lines enumerating the missing partitions",
+		},
+	}
+	if n := in.logTotal(evlog.Error, "fleet.supervisor"); n > 0 {
+		f.Evidence = append(f.Evidence,
+			fmt.Sprintf("event log holds %d fencing records (see /logs?component=fleet.supervisor&level=error)", n))
+	}
+	return []Finding{f}
 }
 
 // errorBurst reports components that logged error-level records — the

@@ -1,0 +1,123 @@
+// Shard-crash schedules: the fault model's process-level tier. The host
+// and URL faults in faults.go model the *web* misbehaving; a weeks-long
+// partitioned crawl also loses whole workers — a tagger segfaults on a
+// degenerate page, a shard process is OOM-killed mid-round (§4.1, §5).
+// CrashPlan models that: shard s panics mid-step in round r, for its
+// first k step attempts, as a pure function of (plan, shard, round,
+// attempt). Like every other injected fault, a scheduled crash clears
+// deterministically once the attempt counter passes its clearing point,
+// so chaos runs under a crash schedule are replayable bit for bit.
+package synthweb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webtextie/internal/rng"
+)
+
+// CrashPoint pins one explicit crash: shard Shard's step in round Round
+// panics on its first Attempts executions (a value < 1 is treated as 1).
+type CrashPoint struct {
+	Shard    int `json:"shard"`
+	Round    int `json:"round"`
+	Attempts int `json:"attempts"`
+}
+
+// CrashPlan is a deterministic shard-crash schedule. Fixed points fire
+// unconditionally; on top of them, every (shard, round) pair crashes
+// with probability Rate, persisting through a per-pair number of step
+// attempts drawn in [1, MaxAttempts]. The schedule is a pure function of
+// the plan value — no state, safe to share across goroutines.
+type CrashPlan struct {
+	// Seed feeds the per-(shard, round) crash draws.
+	Seed uint64
+	// Rate is the per-(shard, round) crash probability (0 disables the
+	// random tier; fixed Points still fire).
+	Rate float64
+	// MaxAttempts bounds how many step attempts a random crash point
+	// persists for (default 1: crash once, succeed on the retry).
+	MaxAttempts int
+	// Points are explicit crash points, checked before the random tier.
+	Points []CrashPoint
+}
+
+func (p *CrashPlan) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// FailsThrough returns how many leading step attempts of (shard, round)
+// panic: 0 for clean pairs, k >= 1 for scheduled crash points. Pure in
+// (plan, shard, round).
+func (p *CrashPlan) FailsThrough(shard, round int) int {
+	if p == nil {
+		return 0
+	}
+	for _, pt := range p.Points {
+		if pt.Shard == shard && pt.Round == round {
+			if pt.Attempts < 1 {
+				return 1
+			}
+			return pt.Attempts
+		}
+	}
+	if p.Rate <= 0 {
+		return 0
+	}
+	r := rng.New(p.Seed).Split(fmt.Sprintf("crash/%d/%d", shard, round))
+	if !r.Bool(p.Rate) {
+		return 0
+	}
+	return 1 + r.Intn(p.maxAttempts())
+}
+
+// Crashes reports whether step attempt number `attempt` (0-based) of
+// (shard, round) is scheduled to panic.
+func (p *CrashPlan) Crashes(shard, round, attempt int) bool {
+	return attempt < p.FailsThrough(shard, round)
+}
+
+// Empty reports whether the plan schedules nothing (nil, or no rate and
+// no points) — supervisors skip arming crash hooks for empty plans.
+func (p *CrashPlan) Empty() bool {
+	return p == nil || (p.Rate <= 0 && len(p.Points) == 0)
+}
+
+// ParseCrashPoints parses a comma-separated "shard:round[:attempts]"
+// list (the -shard-crash-at CLI syntax) into explicit crash points.
+func ParseCrashPoints(spec string) ([]CrashPoint, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []CrashPoint
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("synthweb: crash point %q: want shard:round[:attempts]", part)
+		}
+		nums := make([]int, len(fields))
+		for i, f := range fields {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("synthweb: crash point %q: %v", part, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("synthweb: crash point %q: negative field", part)
+			}
+			nums[i] = n
+		}
+		pt := CrashPoint{Shard: nums[0], Round: nums[1], Attempts: 1}
+		if len(nums) == 3 {
+			if nums[2] < 1 {
+				return nil, fmt.Errorf("synthweb: crash point %q: attempts must be >= 1", part)
+			}
+			pt.Attempts = nums[2]
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

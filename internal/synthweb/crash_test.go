@@ -1,0 +1,114 @@
+package synthweb
+
+import (
+	"testing"
+)
+
+// TestCrashPlanPointsFire: explicit crash points fail exactly their first
+// Attempts step attempts and nothing else.
+func TestCrashPlanPointsFire(t *testing.T) {
+	p := &CrashPlan{Points: []CrashPoint{
+		{Shard: 1, Round: 2, Attempts: 1},
+		{Shard: 0, Round: 4, Attempts: 3},
+		{Shard: 2, Round: 0, Attempts: 0}, // < 1 treated as 1
+	}}
+	cases := []struct {
+		shard, round, attempt int
+		want                  bool
+	}{
+		{1, 2, 0, true},
+		{1, 2, 1, false}, // clears after 1 attempt
+		{0, 4, 0, true},
+		{0, 4, 2, true},
+		{0, 4, 3, false}, // clears after 3 attempts
+		{2, 0, 0, true},
+		{2, 0, 1, false},
+		{1, 3, 0, false}, // unscheduled pair
+		{3, 2, 0, false},
+	}
+	for _, c := range cases {
+		if got := p.Crashes(c.shard, c.round, c.attempt); got != c.want {
+			t.Errorf("Crashes(%d, %d, %d) = %v, want %v",
+				c.shard, c.round, c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestCrashPlanRatePure: the random tier is a pure function of the plan
+// value — two plans with the same seed agree on every pair, a different
+// seed disagrees somewhere, and attempt persistence respects MaxAttempts.
+func TestCrashPlanRatePure(t *testing.T) {
+	a := &CrashPlan{Seed: 11, Rate: 0.3, MaxAttempts: 3}
+	b := &CrashPlan{Seed: 11, Rate: 0.3, MaxAttempts: 3}
+	c := &CrashPlan{Seed: 12, Rate: 0.3, MaxAttempts: 3}
+	crashed, diverged := 0, false
+	for shard := 0; shard < 8; shard++ {
+		for round := 0; round < 40; round++ {
+			ka, kb := a.FailsThrough(shard, round), b.FailsThrough(shard, round)
+			if ka != kb {
+				t.Fatalf("(%d, %d): same plan disagrees: %d vs %d", shard, round, ka, kb)
+			}
+			if ka < 0 || ka > 3 {
+				t.Fatalf("(%d, %d): FailsThrough %d outside [0, MaxAttempts]", shard, round, ka)
+			}
+			if ka > 0 {
+				crashed++
+			}
+			if ka != c.FailsThrough(shard, round) {
+				diverged = true
+			}
+		}
+	}
+	if crashed == 0 {
+		t.Error("rate 0.3 over 320 pairs scheduled no crashes")
+	}
+	if crashed == 8*40 {
+		t.Error("rate 0.3 crashed every pair")
+	}
+	if !diverged {
+		t.Error("different seeds never diverged")
+	}
+}
+
+// TestCrashPlanEmpty: nil and zero plans schedule nothing; points or a
+// rate make a plan non-empty.
+func TestCrashPlanEmpty(t *testing.T) {
+	var nilPlan *CrashPlan
+	if !nilPlan.Empty() || nilPlan.FailsThrough(0, 0) != 0 {
+		t.Error("nil plan should be empty and never crash")
+	}
+	if !(&CrashPlan{}).Empty() {
+		t.Error("zero plan should be empty")
+	}
+	if (&CrashPlan{Rate: 0.1}).Empty() {
+		t.Error("rated plan should not be empty")
+	}
+	if (&CrashPlan{Points: []CrashPoint{{Shard: 1, Round: 1}}}).Empty() {
+		t.Error("pointed plan should not be empty")
+	}
+}
+
+// TestParseCrashPoints covers the -shard-crash-at syntax.
+func TestParseCrashPoints(t *testing.T) {
+	pts, err := ParseCrashPoints(" 1:2, 0:4:3 ,2:0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CrashPoint{{1, 2, 1}, {0, 4, 3}, {2, 0, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("parsed %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d: got %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	if pts, err := ParseCrashPoints("  "); err != nil || pts != nil {
+		t.Errorf("blank spec: got (%v, %v), want (nil, nil)", pts, err)
+	}
+	for _, bad := range []string{"1", "1:2:3:4", "a:b", "-1:2", "1:2:0"} {
+		if _, err := ParseCrashPoints(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos supervisor-chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 alloc-gate trace-golden log-golden doctor-golden shard-determinism verify
+.PHONY: build test vet lint race chaos supervisor-chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 alloc-gate trace-golden log-golden doctor-golden series-golden shard-determinism verify
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,14 @@ bench-pr8:
 	$(GO) test -run=NONE -bench 'SupervisedShardCrawl' -benchtime 1x ./internal/crawler/shard/supervisor/ | tee /tmp/bench_pr8.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr8.out > BENCH_PR8.json
 
+# Regenerate the committed series-sampling baseline (BENCH_PR9.json):
+# the PR-8 supervised DoP-4 fleet plan rerun with fleet series sampling
+# off and on. The gate (bench_pr9_test.go) pins the sampling-off vdocs/s
+# within 2% of BENCH_PR8 — a detached recorder must be free.
+bench-pr9:
+	$(GO) test -run=NONE -bench 'SupervisedShardCrawlSeries' -benchtime 1x ./internal/crawler/shard/supervisor/ | tee /tmp/bench_pr9.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr9.out > BENCH_PR9.json
+
 # Enforce the committed allocs/op budgets with testing.AllocsPerRun —
 # the dynamic counterpart of the static allocfree/boxing/hotpathpurity
 # checks in `make lint`.
@@ -131,6 +139,19 @@ log-golden:
 doctor-golden:
 	$(GO) test ./internal/obs/doctor/ ./internal/obs/debugserv/ ./internal/obs/cliobs/
 
+# Golden-test the virtual-time series pillar: rollup-cascade purity and
+# export byte identity in the package, per-cycle sampling + resume
+# identity in the crawler, fleet sampling DoP 1 vs N identity in the
+# shard runner and supervisor, the time-aware doctor rules with the
+# depth-decay acceptance fixture, the /timeseries endpoint, and the
+# lintx seriesname fixture.
+series-golden:
+	$(GO) test ./internal/obs/series/
+	$(GO) test -run 'Series' \
+		./internal/crawler/ ./internal/crawler/shard/ ./internal/crawler/shard/supervisor/
+	$(GO) test -run 'TimeRules|HarvestDecay|Timeseries|DepthDecay|Golden/seriesname' \
+		./internal/obs/doctor/ ./internal/obs/debugserv/ ./internal/synthweb/ ./internal/analysis/checks/
+
 # The sharded-crawl determinism harness: byte identity of the merged
 # corpus/metrics/trace/log exports across DoP 1 vs N, across reruns,
 # against the plain (unsharded) crawler, under chaos, and across a
@@ -139,4 +160,4 @@ shard-determinism:
 	$(GO) test -run 'Deterministic|Matches|Identical|Partition|Reshard' \
 		./internal/crawler/shard/
 
-verify: build test vet lint race chaos supervisor-chaos trace-golden log-golden doctor-golden shard-determinism alloc-gate
+verify: build test vet lint race chaos supervisor-chaos trace-golden log-golden doctor-golden series-golden shard-determinism alloc-gate

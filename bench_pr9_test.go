@@ -1,0 +1,44 @@
+package webtextie
+
+// Gate over the committed series-sampling baseline (BENCH_PR9.json,
+// regenerated with `make bench-pr9`). The benchmarks rerun the PR-8
+// supervised DoP-4 fleet plan with fleet series sampling off and on.
+// With sampling off the recorder is a nil pointer behind one branch per
+// round, so the sampling-off run's virtual throughput must sit within 2%
+// of the committed BENCH_PR8 number (same plan, same web, same budget).
+// The sampling-on entry is informational: it documents the per-round
+// registry-merge price and proves the recorder actually sampled.
+
+import "testing"
+
+// TestBenchPR9SeriesOverheadGate enforces the sampling-off overhead
+// contract on the committed numbers.
+func TestBenchPR9SeriesOverheadGate(t *testing.T) {
+	pr8 := loadBenchMetrics(t, "BENCH_PR8.json")
+	pr9 := loadBenchMetrics(t, "BENCH_PR9.json")
+	base := pr8["BenchmarkSupervisedShardCrawlDoP4"]
+	off := pr9["BenchmarkSupervisedShardCrawlSeriesOffDoP4"]
+	on := pr9["BenchmarkSupervisedShardCrawlSeriesOnDoP4"]
+	if base == nil {
+		t.Fatal("BENCH_PR8.json is missing the supervised benchmark; regenerate with `make bench-pr8`")
+	}
+	if off == nil || on == nil {
+		t.Fatal("BENCH_PR9.json is missing the series off/on benchmarks; regenerate with `make bench-pr9`")
+	}
+	for name, m := range map[string]map[string]float64{"off": off, "on": on} {
+		if m["webpages"] != base["webpages"] || m["fetched"] != base["fetched"] {
+			t.Errorf("series-%s bench ran a different plan: %.0f pages fetched of a %.0f-page web, want %.0f of %.0f",
+				name, m["fetched"], m["webpages"], base["fetched"], base["webpages"])
+		}
+		if m["vdocs/s"] <= 0 || m["ns/op"] <= 0 {
+			t.Fatalf("BENCH_PR9.json series-%s carries non-positive timings: %v", name, m)
+		}
+	}
+	if min := base["vdocs/s"] * 0.98; off["vdocs/s"] < min {
+		t.Errorf("sampling-off fleet throughput %.2f vdocs/s is below 98%% of the PR-8 %.2f; a detached recorder must be free",
+			off["vdocs/s"], base["vdocs/s"])
+	}
+	if on["samples"] <= 0 {
+		t.Errorf("sampling-on bench recorded %v samples, want > 0", on["samples"])
+	}
+}

@@ -6,12 +6,21 @@
 // Each benchmark line ("BenchmarkName-P  iters  v1 unit1  v2 unit2 ...")
 // becomes one entry keyed by name with its metric map; custom units from
 // b.ReportMetric are preserved alongside ns/op.
+//
+// The compare mode diffs two committed baselines metric by metric:
+//
+//	go run ./cmd/benchjson compare BENCH_PR8.json BENCH_PR9.json
+//
+// printing old value, new value, and percentage delta per shared
+// benchmark metric, plus the benchmarks present on only one side. Output
+// order is deterministic (benchmark name, then metric name).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -61,7 +70,100 @@ func parseLine(line string) (BenchmarkEntry, bool) {
 	return e, true
 }
 
+// loadBaseline reads and validates one committed baseline file.
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, e := range b.Benchmarks {
+		if !strings.HasPrefix(e.Name, "Benchmark") {
+			return b, fmt.Errorf("%s: entry %q is not a benchmark name", path, e.Name)
+		}
+		if len(e.Metrics) == 0 {
+			return b, fmt.Errorf("%s: %s has no metrics", path, e.Name)
+		}
+	}
+	return b, nil
+}
+
+// compare renders the metric-by-metric diff of two baseline files.
+func compare(w io.Writer, oldPath, newPath string) error {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]BenchmarkEntry{}
+	for _, e := range oldB.Benchmarks {
+		oldByName[e.Name] = e
+	}
+	fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	seen := map[string]bool{}
+	for _, e := range newB.Benchmarks {
+		o, shared := oldByName[e.Name]
+		if !shared {
+			fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, "-", "-", "-", "added")
+			continue
+		}
+		seen[e.Name] = true
+		metrics := make([]string, 0, len(e.Metrics))
+		for m := range e.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			nv := e.Metrics[m]
+			ov, ok := o.Metrics[m]
+			switch {
+			case !ok:
+				fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, m, "-", fmtMetric(nv), "added")
+			case ov == 0:
+				fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, m, fmtMetric(ov), fmtMetric(nv), "n/a")
+			default:
+				fmt.Fprintf(w, "%-60s %-12s %14s %14s %+8.1f%%\n", e.Name, m, fmtMetric(ov), fmtMetric(nv), 100*(nv-ov)/ov)
+			}
+		}
+	}
+	for _, e := range oldB.Benchmarks {
+		if !seen[e.Name] {
+			fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, "-", "-", "-", "removed")
+		}
+	}
+	return nil
+}
+
+// fmtMetric renders a metric value compactly: integers without a point,
+// everything else with up to four significant decimals trimmed.
+func fmtMetric(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compare(os.Stdout, os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	b := Baseline{GoVersion: runtime.Version(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

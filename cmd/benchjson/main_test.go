@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLoadCommittedBaselines loads every BENCH_*.json committed at the
+// repo root through the compare-mode loader: each must parse, hold at
+// least one benchmark, keep its entries name-sorted, and report ns/op.
+func TestLoadCommittedBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 7 {
+		t.Fatalf("found %d committed baselines, want at least 7 (BASELINE + PR3..PR8)", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := loadBaseline(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.GoVersion == "" || b.GoOS == "" || b.GoArch == "" {
+				t.Errorf("missing environment header: %+v", b)
+			}
+			if !sort.SliceIsSorted(b.Benchmarks, func(i, j int) bool {
+				return b.Benchmarks[i].Name < b.Benchmarks[j].Name
+			}) {
+				t.Error("benchmarks not sorted by name")
+			}
+			for _, e := range b.Benchmarks {
+				if e.Iterations < 1 {
+					t.Errorf("%s: iterations %d < 1", e.Name, e.Iterations)
+				}
+				if _, ok := e.Metrics["ns/op"]; !ok {
+					t.Errorf("%s: no ns/op metric", e.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadBaselineRejectsGarbage pins the loader's validation errors.
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"notjson.json", "not json at all", "invalid character"},
+		{"empty.json", `{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","benchmarks":[]}`, "no benchmarks"},
+		{"badname.json", `{"benchmarks":[{"name":"NotABench","iterations":1,"metrics":{"ns/op":1}}]}`, "not a benchmark name"},
+		{"nometrics.json", `{"benchmarks":[{"name":"BenchmarkX","iterations":1,"metrics":{}}]}`, "no metrics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadBaseline(write(tc.name, tc.content))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+// TestCompareOutput diffs two synthetic baselines and checks the table:
+// shared metrics get signed percentage deltas, metrics and benchmarks on
+// one side only are labelled added/removed, zero old values are n/a.
+func TestCompareOutput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","benchmarks":[
+		{"name":"BenchmarkGone","iterations":1,"metrics":{"ns/op":5}},
+		{"name":"BenchmarkShared","iterations":1,"metrics":{"ns/op":1000,"vdocs/s":10,"zero":0}}]}`), 0o644)
+	os.WriteFile(newPath, []byte(`{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","benchmarks":[
+		{"name":"BenchmarkFresh","iterations":1,"metrics":{"ns/op":7}},
+		{"name":"BenchmarkShared","iterations":1,"metrics":{"ns/op":900,"vdocs/s":12,"zero":3,"extra":1}}]}`), 0o644)
+
+	var b strings.Builder
+	if err := compare(&b, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"-10.0%",  // ns/op 1000 -> 900
+		"+20.0%",  // vdocs/s 10 -> 12
+		"n/a",     // zero 0 -> 3
+		"added",   // BenchmarkFresh and the extra metric
+		"removed", // BenchmarkGone
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: same inputs, same bytes.
+	var again strings.Builder
+	if err := compare(&again, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("compare output not byte-stable across calls")
+	}
+}
+
+// TestParseLine pins the bench-line parser the convert mode feeds from.
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkSupervisedShardCrawlDoP4-8   1   12290031421 ns/op   13216 fetched   15.63 vdocs/s")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if e.Name != "BenchmarkSupervisedShardCrawlDoP4" || e.Procs != 8 || e.Iterations != 1 {
+		t.Errorf("entry header = %+v", e)
+	}
+	if e.Metrics["ns/op"] != 12290031421 || e.Metrics["fetched"] != 13216 || e.Metrics["vdocs/s"] != 15.63 {
+		t.Errorf("metrics = %v", e.Metrics)
+	}
+	if _, ok := parseLine("ok   webtextie/internal/crawler 1.2s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+}

@@ -12,6 +12,7 @@
 //	      [-checkpoint FILE -checkpoint-cycles N] [-resume FILE]
 //	      [-trace] [-trace-out FILE] [-trace-chrome FILE]
 //	      [-log] [-log-out FILE] [-doctor] [-debug-addr HOST:PORT]
+//	      [-series] [-series-out FILE] [-series-json FILE]
 //
 // -shards N partitions the frontier by host hash into N shards, each with
 // its own crawldb, metric registry, trace recorder, and log sink, crawling
@@ -35,8 +36,11 @@
 // -trace-chrome write its end-of-run export (text, or Perfetto-loadable
 // trace_event JSON). -log attaches the deterministic structured event log
 // (-log-out writes its logfmt export) and -doctor prints the cross-pillar
-// diagnosis at exit. -debug-addr serves /metrics, /traces, /logs, /doctor,
-// /progress and /debug/pprof live while the crawl runs.
+// diagnosis at exit. -series samples the metric registry on the virtual
+// clock — per cycle unsharded, per BSP round fleet-wide — and prints
+// end-of-run sparklines (-series-out / -series-json write the CSV and
+// JSON exports). -debug-addr serves /metrics, /traces, /logs, /doctor,
+// /timeseries, /progress and /debug/pprof live while the crawl runs.
 //
 // Fault injection is deterministic in the seed: the same flags reproduce
 // the same failures, retries, and breaker trips. A crawl interrupted with
@@ -61,6 +65,7 @@ import (
 	"webtextie/internal/obs/cliobs"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/seeds"
@@ -205,6 +210,9 @@ func main() {
 		}
 		if obsSetup.Logs != nil {
 			c.WithLog(obsSetup.Logs)
+		}
+		if obsSetup.Series != nil {
+			c.WithSeries(obsSetup.Series)
 		}
 		addr, err := obsSetup.Serve(func() any { return c.LiveStats() })
 		if err != nil {
@@ -383,6 +391,9 @@ func runSharded(o shardedOpts) {
 	if o.obsSetup.Logs != nil {
 		runner.WithLog(evlog.DefaultConfig(o.seed))
 	}
+	if o.obsSetup.Series != nil {
+		runner.WithSeries(series.DefaultConfig())
+	}
 	if o.resumeFile == "" {
 		runner.Seed(o.seedURLs)
 	}
@@ -461,9 +472,10 @@ func runSharded(o shardedOpts) {
 			Metrics: res.Metrics.Merge(rep.Metrics),
 			Traces:  mergeSnap(res.Traces, rep.Traces, trace.Merge),
 			Logs:    mergeSnap(res.Logs, rep.Logs, evlog.Merge),
+			Series:  res.Series,
 		}
 	}
-	summary, err := o.obsSetup.FinishWithDoctor(res.Traces, res.Logs, res.Metrics, diag)
+	summary, err := o.obsSetup.FinishWithDoctor(res.Traces, res.Logs, res.Series, res.Metrics, diag)
 	if summary != "" {
 		fmt.Println()
 		fmt.Print(summary)

@@ -11,6 +11,8 @@
 //	metricname   obs registry keys are constants in the dotted-name grammar
 //	tracename    trace span/event names are constants in the dotted-name
 //	             grammar; attr keys are constant lower_snake identifiers
+//	seriesname   series recorder keys are constants in the dotted-name
+//	             grammar (the join key of sampling, /timeseries, doctor)
 //	sleepcall    no blocking time primitives in crawler/dataflow paths
 //	             (backoff runs on the virtual clock, not time.Sleep)
 //	logcall      no fmt/log printing outside package main (library code
@@ -55,6 +57,7 @@ func All() []*analysis.Analyzer {
 		ErrSink,
 		MetricName,
 		TraceName,
+		SeriesName,
 		SleepCall,
 		LogCall,
 		AllocFree,

@@ -1,0 +1,65 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"webtextie/internal/analysis"
+)
+
+// SeriesName enforces the time-series pillar's naming contract at every
+// call site of series.Recorder.Observe: like metric names, a series name
+// must be a compile-time constant matching the dotted lower-case grammar
+// (metricNameRE). Series names are the join key between sampled registry
+// metrics, /timeseries filters, and the doctor's time-aware rules — a
+// dynamic name would fracture that join and grow the recorder without
+// bound. The one sanctioned builder is a function named SeriesName, which
+// owns the grammar for computed names.
+var SeriesName = &analysis.Analyzer{
+	Name: "seriesname",
+	Doc: "series recorder keys must be compile-time constants matching the dotted " +
+		"lower-case grammar (or built by a SeriesName helper)",
+	Run: runSeriesName,
+}
+
+func runSeriesName(pass *analysis.Pass) {
+	// The recorder itself and the sampling adapters compose names from
+	// registry snapshots they already validated.
+	if pkgPathMatches(pass.Pkg.PkgPath, "internal/obs/series") {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "internal/obs/series") {
+				return true
+			}
+			if fn.Name() != "Observe" {
+				return true
+			}
+			arg := call.Args[0]
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"series name %q violates the dotted-name grammar (lower-case segments joined by dots)", name)
+				}
+				return true
+			}
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if f := calleeFunc(info, inner); f != nil && f.Name() == "SeriesName" {
+					return true
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"series name passed to Observe must be a compile-time constant (or a SeriesName builder call): "+
+					"dynamic names fracture the sampling/doctor join and unbound recorder growth")
+			return true
+		})
+	}
+}

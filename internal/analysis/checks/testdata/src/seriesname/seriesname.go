@@ -1,0 +1,36 @@
+// Package seriesname exercises the seriesname analyzer: non-constant or
+// grammar-violating series keys are flagged; constant dotted names, the
+// SeriesName builder, and suppressed legacy keys are not.
+package seriesname
+
+import "webtextie/internal/obs/series"
+
+// Good uses a constant dotted name — not flagged.
+func Good(rec *series.Recorder) {
+	rec.Observe("fixture.good.total", 1000, 1)
+}
+
+// BadGrammar violates the dotted-name grammar — flagged.
+func BadGrammar(rec *series.Recorder) {
+	rec.Observe("Fixture-Series", 1000, 1)
+}
+
+// Dynamic interpolates shard state into the key — flagged.
+func Dynamic(rec *series.Recorder, shard string) {
+	rec.Observe("fixture."+shard, 1000, 1)
+}
+
+// SeriesName is the sanctioned builder; it owns the grammar for computed
+// names.
+func SeriesName(metric string) string { return "fixture." + metric }
+
+// Built routes a computed name through the builder — not flagged.
+func Built(rec *series.Recorder, metric string) {
+	rec.Observe(SeriesName(metric), 1000, 1)
+}
+
+// Legacy is suppressed: a dashboard key kept until the migration lands.
+func Legacy(rec *series.Recorder) {
+	//lintx:ignore seriesname legacy dashboard key until the migration lands
+	rec.Observe("LegacySeries", 1000, 1)
+}

@@ -16,6 +16,7 @@ import (
 	"webtextie/internal/crawldb"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 )
@@ -47,6 +48,11 @@ type Checkpoint struct {
 	// record is emitted, so a resumed run's log export matches an
 	// uninterrupted run's byte for byte.
 	Logs *evlog.Snapshot `json:"logs,omitempty"`
+	// Series continues the time-series recorder across the restart (nil
+	// when the crawl ran without sampling). Checkpoints land between Step
+	// calls — after the cycle's sample — so a resumed run's series export
+	// matches an uninterrupted run's byte for byte.
+	Series *series.Snapshot `json:"series,omitempty"`
 }
 
 // Checkpoint freezes the crawler's state. Call it between Step calls
@@ -109,6 +115,9 @@ func (c *Crawler) checkpoint(announce bool) *Checkpoint {
 			c.lg.checkpoint.Info("checkpoint.saved", c.nowMs(),
 				trace.Int("cycle", int64(c.stats.Cycles)))
 		}
+	}
+	if c.series != nil {
+		cp.Series = c.series.Snapshot()
 	}
 	return cp
 }
@@ -196,5 +205,8 @@ func Resume(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes, cp *Checkpo
 	c.resumeTraces = cp.Traces
 	// Logging resumes lazily too: WithLog loads this into the new sink.
 	c.resumeLogs = cp.Logs
+	// Sampling resumes lazily too: WithSeries loads this into the new
+	// recorder.
+	c.resumeSeries = cp.Series
 	return c, nil
 }

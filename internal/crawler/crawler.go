@@ -24,6 +24,7 @@ import (
 	"webtextie/internal/mimetype"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
@@ -204,6 +205,10 @@ type Result struct {
 	// Logs is the crawl's event log frozen at the end of Run (nil when the
 	// crawl ran without a log sink).
 	Logs *evlog.Snapshot
+	// Series is the crawl's time-series pillar frozen at the end of Run —
+	// one per-cycle sample stream per counter/gauge, on the virtual clock
+	// (nil when the crawl ran without a series recorder).
+	Series *series.Snapshot
 }
 
 // metrics bundles the crawler's obs instruments. Counters mirror the
@@ -325,6 +330,11 @@ type Crawler struct {
 	lg   crawlLogs
 	// resumeLogs remembers the checkpoint's log snapshot for WithLog.
 	resumeLogs *evlog.Snapshot
+	// series is the optional time-series recorder (nil = sampling off):
+	// every cycle ends with one registry sample on the virtual clock.
+	series *series.Recorder
+	// resumeSeries remembers the checkpoint's series snapshot for WithSeries.
+	resumeSeries *series.Snapshot
 	// live publishes a Stats copy after every cycle so debug-server
 	// goroutines can read crawl progress without racing the crawl loop.
 	live atomic.Pointer[Stats]
@@ -417,6 +427,42 @@ func (c *Crawler) WithLog(sink *evlog.Sink) *Crawler {
 
 // LogSink returns the attached event-log sink (nil when logging is off).
 func (c *Crawler) LogSink() *evlog.Sink { return c.logs }
+
+// WithSeries points the crawler at a time-series recorder: every cycle
+// ends with one sample of the full metric registry (counters and gauges)
+// plus the derived harvest-rate series, stamped with the cycle's virtual
+// completion time. On a resumed crawler the checkpoint's series snapshot
+// is loaded first, so the streams continue exactly where they stopped.
+// Returns the crawler for chaining.
+func (c *Crawler) WithSeries(rec *series.Recorder) *Crawler {
+	c.series = rec
+	if c.resumeSeries != nil {
+		rec.Load(c.resumeSeries)
+	}
+	return c
+}
+
+// SeriesRecorder returns the attached recorder (nil when sampling is off).
+func (c *Crawler) SeriesRecorder() *series.Recorder { return c.series }
+
+// MetricsSnapshot freezes the crawler's metric registry. Call it only
+// between Step calls — the shard runner merges per-shard snapshots at
+// round barriers into the fleet-level series sample.
+func (c *Crawler) MetricsSnapshot() obs.Snapshot { return c.m.reg.Snapshot() }
+
+// sampleSeries records one end-of-cycle sample of every counter and
+// gauge, stamped with the crawl's virtual duration so far. The gauges
+// that Finish normally refreshes are refreshed here first so the sample
+// reflects end-of-cycle state; Finish overwrites them again, so final
+// metric exports are unchanged by sampling.
+func (c *Crawler) sampleSeries() {
+	c.m.frontierPending.Set(int64(c.db.Pending()))
+	c.m.frontierKnown.Set(int64(c.db.Known()))
+	c.m.virtualMs.Set(c.stats.VirtualMs)
+	at := c.stats.VirtualMs
+	c.series.Sample(at, c.m.reg.Snapshot())
+	c.series.Observe("crawler.harvest.rate.docs", at, c.stats.HarvestRateDocs())
+}
 
 // LiveStats returns the most recent published Stats copy (nil before the
 // first cycle). Safe to call concurrently with a running crawl — this is
@@ -606,6 +652,9 @@ func (c *Crawler) Step() bool {
 		trace.Int("cycle", int64(c.stats.Cycles)),
 		trace.Int("fetched", int64(c.stats.Fetched-before)),
 		trace.Int("pending", int64(c.db.Pending())))
+	if c.series != nil {
+		c.sampleSeries()
+	}
 	s := c.stats
 	c.live.Store(&s)
 	return true
@@ -639,6 +688,9 @@ func (c *Crawler) Finish() *Result {
 	res.Metrics = c.m.reg.Snapshot()
 	if c.logs != nil {
 		res.Logs = c.logs.Snapshot()
+	}
+	if c.series != nil {
+		res.Series = c.series.Snapshot()
 	}
 	s := c.stats
 	c.live.Store(&s)

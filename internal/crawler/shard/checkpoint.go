@@ -15,6 +15,7 @@ import (
 
 	"webtextie/internal/classify"
 	"webtextie/internal/crawler"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/synthweb"
 )
 
@@ -46,6 +47,11 @@ type Checkpoint struct {
 	Degraded []DegradedPartition `json:"degraded,omitempty"`
 	// Crawlers holds shard i's crawler.Checkpoint at index i.
 	Crawlers []json.RawMessage `json:"crawlers"`
+	// Series continues the fleet time-series recorder across the restart
+	// (nil when the fleet ran without sampling). Checkpoints land at round
+	// barriers — after EndRound's sample — so a resumed fleet's series
+	// export matches an uninterrupted run's byte for byte.
+	Series *series.Snapshot `json:"series,omitempty"`
 }
 
 // Checkpoint freezes the fleet. Call it between Round calls (never
@@ -70,6 +76,9 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 			return nil, fmt.Errorf("shard: checkpointing shard %d: %w", i, err)
 		}
 		cp.Crawlers[i] = data
+	}
+	if r.series != nil {
+		cp.Series = r.series.Snapshot()
 	}
 	return cp, nil
 }
@@ -138,5 +147,8 @@ func Resume(cfg Config, newWeb func() *synthweb.Web, clf *classify.NaiveBayes, c
 		r.installRouter(s)
 		r.shards[i] = s
 	}
+	// Sampling resumes lazily: WithSeries loads this into the new fleet
+	// recorder.
+	r.resumeSeries = cp.Series
 	return r, nil
 }

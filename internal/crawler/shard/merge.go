@@ -17,6 +17,7 @@ import (
 	"webtextie/internal/crawler"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
 
@@ -45,6 +46,10 @@ type Result struct {
 	Traces *trace.Snapshot
 	// Logs is the merged event-log export (nil when logging was off).
 	Logs *evlog.Snapshot
+	// Series is the fleet time-series export (nil when sampling was off):
+	// one per-round sample stream per metric, already merged across shards
+	// on the makespan clock.
+	Series *series.Snapshot
 	// PerShard holds each shard's own result, indexed by shard.
 	PerShard []*crawler.Result
 	// Rounds is the number of fleet supersteps executed.
@@ -128,6 +133,9 @@ func (r *Runner) Finish() *Result {
 			snaps[i] = res.Logs
 		}
 		out.Logs = evlog.Merge(snaps...)
+	}
+	if r.series != nil {
+		out.Series = r.series.Snapshot()
 	}
 	return out
 }

@@ -29,7 +29,9 @@ import (
 	"webtextie/internal/classify"
 	"webtextie/internal/crawler"
 	"webtextie/internal/ie/dict"
+	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
 	"webtextie/internal/textgen"
@@ -103,6 +105,17 @@ type Runner struct {
 	traceCfg *trace.Config
 	logCfg   *evlog.Config
 	matchers map[textgen.EntityType]*dict.Matcher
+
+	// series is the fleet-level time-series recorder (nil = sampling
+	// off): one sample per BSP round of the merged shard registries,
+	// stamped on the fleet makespan clock. The recorder is runner-owned —
+	// shard restarts never touch it — and the sample happens post-barrier
+	// in EndRound, single-threaded, so the streams are identical at any
+	// degree of parallelism.
+	series *series.Recorder
+	// resumeSeries remembers the fleet checkpoint's series snapshot for
+	// WithSeries.
+	resumeSeries *series.Snapshot
 
 	rounds   int
 	stopped  bool // fleet page budget reached
@@ -188,6 +201,54 @@ func (r *Runner) WithLog(cfg evlog.Config) *Runner {
 		s.c.WithLog(evlog.NewSink(cfg))
 	}
 	return r
+}
+
+// WithSeries attaches a fleet-level time-series recorder: every round
+// barrier folds the per-shard metric registries into one snapshot
+// (obs.Snapshot.Merge in shard order) and records it as a single sample
+// at the fleet makespan — the maximum shard virtual clock — plus the
+// derived fleet harvest-rate series. Sampling runs post-barrier on one
+// goroutine, so exports are byte-identical across DoP 1 vs N; on a
+// resumed runner the fleet checkpoint's series snapshot is loaded first.
+// Returns the runner for chaining.
+func (r *Runner) WithSeries(cfg series.Config) *Runner {
+	r.series = series.New(cfg)
+	if r.resumeSeries != nil {
+		r.series.Load(r.resumeSeries)
+	}
+	return r
+}
+
+// SeriesRecorder returns the fleet recorder (nil when sampling is off).
+func (r *Runner) SeriesRecorder() *series.Recorder { return r.series }
+
+// sampleSeries records one fleet sample at the current round barrier.
+// Fenced shards still contribute: their last barrier state is genuinely
+// part of the merged exports.
+func (r *Runner) sampleSeries() {
+	var merged obs.Snapshot
+	var makespanMs int64
+	var relevant, irrelevant int
+	for i, s := range r.shards {
+		if i == 0 {
+			merged = s.c.MetricsSnapshot()
+		} else {
+			merged = merged.Merge(s.c.MetricsSnapshot())
+		}
+		st := s.c.CurrentStats()
+		if st.VirtualMs > makespanMs {
+			makespanMs = st.VirtualMs
+		}
+		relevant += st.Relevant
+		irrelevant += st.Irrelevant
+	}
+	r.series.Sample(makespanMs, merged)
+	rate := 0.0
+	if relevant+irrelevant > 0 {
+		rate = float64(relevant) / float64(relevant+irrelevant)
+	}
+	r.series.Observe("crawler.harvest.rate.docs", makespanMs, rate)
+	r.series.Observe("fleet.rounds", makespanMs, float64(r.rounds))
 }
 
 // WithEntityMatchers shares the read-only entity dictionaries with every
@@ -436,6 +497,9 @@ func (r *Runner) addMailLost(shard, n int) {
 // still has work. Returns true if the crawl should continue.
 func (r *Runner) EndRound() bool {
 	r.rounds++
+	if r.series != nil {
+		r.sampleSeries()
+	}
 	if max := r.cfg.Crawl.MaxPages; max > 0 && r.totalFetched() >= max {
 		r.stopped = true
 		return false

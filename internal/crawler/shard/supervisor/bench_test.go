@@ -4,6 +4,11 @@
 // per shard per round and zero virtual time, so the gated metric —
 // virtual throughput (vdocs/s) — must match the unsupervised BENCH_PR6
 // DoP-4 number within 2% (see bench_pr8_test.go at the repo root).
+//
+// The PR-9 benches rerun the same plan with fleet series sampling off and
+// on. Sampling off must cost nothing (the gate in bench_pr9_test.go pins
+// it within 2% of BENCH_PR8); sampling on adds one registry merge per
+// round barrier, and its bench documents that price.
 
 package supervisor
 
@@ -12,10 +17,13 @@ import (
 
 	"webtextie/internal/crawler"
 	"webtextie/internal/crawler/shard"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/synthweb"
 )
 
-func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
+// supervisedBenchPlan runs the shared 12k-page DoP-4 fleet plan, with or
+// without the fleet series recorder, and reports the gated metrics.
+func supervisedBenchPlan(b *testing.B, withSeries bool) {
 	e := newEnv(b, 1, func(c *synthweb.Config) {
 		*c = synthweb.ScaledConfig(1, 36)
 	})
@@ -30,6 +38,9 @@ func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if withSeries {
+			r.WithSeries(series.DefaultConfig())
+		}
 		sup := New(r, Config{RecoveryBudget: DefaultRecoveryBudget, Seed: 7})
 		if res, err = sup.Run(e.seeds); err != nil {
 			b.Fatal(err)
@@ -42,7 +53,29 @@ func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
 	if !rep.Quiet() {
 		b.Fatalf("clean bench run drew supervisor intervention: %+v", rep)
 	}
+	if withSeries {
+		if res.Series == nil || len(res.Series.Series) == 0 {
+			b.Fatal("sampling-on bench produced no series")
+		}
+		var samples int64
+		for _, sd := range res.Series.Series {
+			samples += sd.Total
+		}
+		b.ReportMetric(float64(samples), "samples")
+	}
 	b.ReportMetric(float64(res.Stats.Fetched)*1000/float64(res.Stats.VirtualMs), "vdocs/s")
 	b.ReportMetric(float64(webPages), "webpages")
 	b.ReportMetric(float64(res.Stats.Fetched), "fetched")
+}
+
+func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
+	supervisedBenchPlan(b, false)
+}
+
+func BenchmarkSupervisedShardCrawlSeriesOffDoP4(b *testing.B) {
+	supervisedBenchPlan(b, false)
+}
+
+func BenchmarkSupervisedShardCrawlSeriesOnDoP4(b *testing.B) {
+	supervisedBenchPlan(b, true)
 }

@@ -1,0 +1,46 @@
+package supervisor
+
+import (
+	"testing"
+
+	"webtextie/internal/obs/series"
+	"webtextie/internal/synthweb"
+)
+
+// TestCrashRecoverySeriesByteIdentical: the time-series pillar rides the
+// same determinism contract as the other three. Fleet sampling happens in
+// EndRound, which the supervised loop shares with the plain one, so a
+// supervised run under a recovered crash schedule exports series
+// byte-identical to the fault-free unsupervised run's — at DoP 1 and 4.
+// (The fleet recorder is runner-owned: shard restarts rebuild crawlers,
+// never the recorder, and a replayed round reaches the same barrier
+// state it would have fault-free.)
+func TestCrashRecoverySeriesByteIdentical(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	ref := newFleet(t, e, fleetCfg(4, 1)).WithSeries(series.DefaultConfig()).Run(e.seeds)
+	if ref.Series == nil || len(ref.Series.Series) == 0 {
+		t.Fatal("reference fleet retained no series")
+	}
+	if ref.Rounds < 3 {
+		t.Fatalf("need >= 3 rounds to place the crash schedule, got %d", ref.Rounds)
+	}
+	refCSV := ref.Series.CSV()
+	crash := &synthweb.CrashPlan{Points: []synthweb.CrashPoint{
+		{Shard: 0, Round: 1, Attempts: 1},
+		{Shard: 1, Round: 2, Attempts: 1},
+	}}
+	for _, dop := range []int{1, 4} {
+		fleet := newFleet(t, e, fleetCfg(4, dop)).WithSeries(series.DefaultConfig())
+		sup := New(fleet, Config{RecoveryBudget: 3, Crash: crash, Seed: 7})
+		res, err := sup.Run(e.seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup.Report().Crashes == 0 {
+			t.Fatalf("DoP %d: crash schedule never fired", dop)
+		}
+		if got := res.Series.CSV(); got != refCSV {
+			t.Errorf("DoP %d: supervised series CSV diverges from fault-free run", dop)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package cliobs is the shared observability surface of the webtextie
 // binaries: one Register call gives a command the same -trace, -log,
-// -doctor, and -debug-addr flags as every other command, so flag parity
+// -doctor, -series, and -debug-addr flags as every other command, so flag parity
 // across crawl, analyze, and experiments holds by construction instead
 // of by convention (and is checked by a table test over Names).
 //
@@ -18,6 +18,7 @@ import (
 	"webtextie/internal/obs/debugserv"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
 
@@ -29,6 +30,9 @@ type Flags struct {
 	LogOn       *bool
 	LogOut      *string
 	DoctorOn    *bool
+	SeriesOn    *bool
+	SeriesOut   *string
+	SeriesJSON  *string
 	DebugAddr   *string
 }
 
@@ -36,7 +40,8 @@ type Flags struct {
 // the parity contract the cmd table test checks against each command's
 // FlagSet.
 func Names() []string {
-	return []string{"trace", "trace-out", "trace-chrome", "log", "log-out", "doctor", "debug-addr"}
+	return []string{"trace", "trace-out", "trace-chrome", "log", "log-out", "doctor",
+		"series", "series-out", "series-json", "debug-addr"}
 }
 
 // Register installs the shared observability flags on a FlagSet.
@@ -48,7 +53,10 @@ func Register(fs *flag.FlagSet) *Flags {
 		LogOn:       fs.Bool("log", false, "attach the deterministic structured event log"),
 		LogOut:      fs.String("log-out", "", "write the end-of-run event-log export (logfmt) to FILE (implies -log)"),
 		DoctorOn:    fs.Bool("doctor", false, "print the cross-pillar crawl-doctor diagnosis at exit (implies -log)"),
-		DebugAddr:   fs.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /logs /doctor /progress /debug/pprof) on HOST:PORT (implies -trace and -log)"),
+		SeriesOn:    fs.Bool("series", false, "attach the virtual-time metric series recorder"),
+		SeriesOut:   fs.String("series-out", "", "write the end-of-run series export (CSV) to FILE (implies -series)"),
+		SeriesJSON:  fs.String("series-json", "", "write the end-of-run series export (JSON) to FILE (implies -series)"),
+		DebugAddr:   fs.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /logs /doctor /timeseries /progress /debug/pprof) on HOST:PORT (implies -trace, -log, and -series)"),
 	}
 }
 
@@ -57,12 +65,13 @@ func Register(fs *flag.FlagSet) *Flags {
 type Setup struct {
 	Traces *trace.Recorder
 	Logs   *evlog.Sink
+	Series *series.Recorder
 	f      *Flags
 }
 
-// Setup builds the trace recorder and event-log sink the flags ask for,
-// both seeded for determinism. The sink's derived evlog.records counters
-// land in the process metric registry.
+// Setup builds the trace recorder, event-log sink, and series recorder
+// the flags ask for, all seeded/configured for determinism. The sink's
+// derived evlog.records counters land in the process metric registry.
 func (f *Flags) Setup(seed uint64) *Setup {
 	s := &Setup{f: f}
 	if *f.TraceOn || *f.TraceOut != "" || *f.TraceChrome != "" || *f.DebugAddr != "" {
@@ -70,6 +79,9 @@ func (f *Flags) Setup(seed uint64) *Setup {
 	}
 	if *f.LogOn || *f.LogOut != "" || *f.DoctorOn || *f.DebugAddr != "" {
 		s.Logs = evlog.NewSink(evlog.DefaultConfig(seed)).WithMetrics(obs.Default())
+	}
+	if *f.SeriesOn || *f.SeriesOut != "" || *f.SeriesJSON != "" || *f.DebugAddr != "" {
+		s.Series = series.New(series.DefaultConfig())
 	}
 	return s
 }
@@ -85,6 +97,7 @@ func (s *Setup) Serve(progress func() any) (string, error) {
 		Registry: obs.Default(),
 		Traces:   s.Traces,
 		Logs:     s.Logs,
+		Series:   s.Series,
 		Progress: progress,
 	})
 	if err != nil {
@@ -93,9 +106,10 @@ func (s *Setup) Serve(progress func() any) (string, error) {
 	return srv.Addr(), nil
 }
 
-// Finish writes the -trace-out / -trace-chrome / -log-out export files
-// and returns the end-of-run summary (trace tallies, event-log tallies,
-// and the -doctor report), ready for the command to print. Empty when
+// Finish writes the -trace-out / -trace-chrome / -log-out / -series-out
+// / -series-json export files and returns the end-of-run summary (trace
+// tallies, event-log tallies, series sparklines, and the -doctor
+// report), ready for the command to print. Empty when
 // every observability flag was off. It snapshots this setup's live
 // pillars and the process metric registry; a command whose pillar state
 // lives elsewhere (the sharded crawl merges per-shard snapshots) calls
@@ -109,15 +123,19 @@ func (s *Setup) Finish() (string, error) {
 	if s.Logs != nil {
 		logSnap = s.Logs.Snapshot()
 	}
-	return s.FinishWith(traceSnap, logSnap, obs.Default().Snapshot())
+	var seriesSnap *series.Snapshot
+	if s.Series != nil {
+		seriesSnap = s.Series.Snapshot()
+	}
+	return s.FinishWith(traceSnap, logSnap, seriesSnap, obs.Default().Snapshot())
 }
 
 // FinishWith is Finish over caller-supplied snapshots: the same export
-// files, tallies, and -doctor report, but rendered from the given trace
-// and log snapshots and diagnosing the given metric snapshot. Nil pillar
-// snapshots are treated as "flag off".
-func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, metrics obs.Snapshot) (string, error) {
-	return s.FinishWithDoctor(traceSnap, logSnap, metrics, nil)
+// files, tallies, and -doctor report, but rendered from the given trace,
+// log, and series snapshots and diagnosing the given metric snapshot.
+// Nil pillar snapshots are treated as "flag off".
+func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, metrics obs.Snapshot) (string, error) {
+	return s.FinishWithDoctor(traceSnap, logSnap, seriesSnap, metrics, nil)
 }
 
 // FinishWithDoctor is FinishWith with a separate doctor input: the
@@ -127,7 +145,7 @@ func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, m
 // supervision events into the crawl export files (which must stay
 // byte-identical to an unsupervised run's). A nil diag diagnoses the
 // export snapshots themselves.
-func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, metrics obs.Snapshot, diag *doctor.Input) (string, error) {
+func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, metrics obs.Snapshot, diag *doctor.Input) (string, error) {
 	var b strings.Builder
 	if traceSnap != nil {
 		counts := traceSnap.ErrClassCounts()
@@ -169,12 +187,41 @@ func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snaps
 			fmt.Fprintf(&b, "event-log export (logfmt) written to %s\n", *s.f.LogOut)
 		}
 	}
+	if seriesSnap != nil {
+		var samples int64
+		for _, sd := range seriesSnap.Series {
+			samples += sd.Total
+		}
+		fmt.Fprintf(&b, "series: %d series, %d samples on the virtual clock\n", len(seriesSnap.Series), samples)
+		for _, line := range strings.Split(strings.TrimSuffix(seriesSnap.TextWidth(32), "\n"), "\n") {
+			if line != "" {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+		}
+		if *s.f.SeriesOut != "" {
+			if err := os.WriteFile(*s.f.SeriesOut, []byte(seriesSnap.CSV()), 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "series export (CSV) written to %s\n", *s.f.SeriesOut)
+		}
+		if *s.f.SeriesJSON != "" {
+			blob, err := seriesSnap.JSON()
+			if err != nil {
+				return b.String(), err
+			}
+			if err := os.WriteFile(*s.f.SeriesJSON, blob, 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "series export (JSON) written to %s\n", *s.f.SeriesJSON)
+		}
+	}
 	if *s.f.DoctorOn {
 		if diag == nil {
 			diag = &doctor.Input{
 				Metrics: metrics,
 				Traces:  traceSnap,
 				Logs:    logSnap,
+				Series:  seriesSnap,
 			}
 		}
 		rep := doctor.Diagnose(*diag)

@@ -103,16 +103,20 @@ func TestSetupGating(t *testing.T) {
 		args       []string
 		wantTraces bool
 		wantLogs   bool
+		wantSeries bool
 	}{
-		{"none", nil, false, false},
-		{"trace", []string{"-trace"}, true, false},
-		{"trace-out", []string{"-trace-out", "x"}, true, false},
-		{"trace-chrome", []string{"-trace-chrome", "x"}, true, false},
-		{"log", []string{"-log"}, false, true},
-		{"log-out", []string{"-log-out", "x"}, false, true},
-		{"doctor", []string{"-doctor"}, false, true},
-		{"debug-addr", []string{"-debug-addr", "127.0.0.1:0"}, true, true},
-		{"both", []string{"-trace", "-log"}, true, true},
+		{"none", nil, false, false, false},
+		{"trace", []string{"-trace"}, true, false, false},
+		{"trace-out", []string{"-trace-out", "x"}, true, false, false},
+		{"trace-chrome", []string{"-trace-chrome", "x"}, true, false, false},
+		{"log", []string{"-log"}, false, true, false},
+		{"log-out", []string{"-log-out", "x"}, false, true, false},
+		{"doctor", []string{"-doctor"}, false, true, false},
+		{"series", []string{"-series"}, false, false, true},
+		{"series-out", []string{"-series-out", "x"}, false, false, true},
+		{"series-json", []string{"-series-json", "x"}, false, false, true},
+		{"debug-addr", []string{"-debug-addr", "127.0.0.1:0"}, true, true, true},
+		{"both", []string{"-trace", "-log"}, true, true, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -127,6 +131,9 @@ func TestSetupGating(t *testing.T) {
 			}
 			if got := s.Logs != nil; got != tc.wantLogs {
 				t.Errorf("Logs attached = %v, want %v", got, tc.wantLogs)
+			}
+			if got := s.Series != nil; got != tc.wantSeries {
+				t.Errorf("Series attached = %v, want %v", got, tc.wantSeries)
 			}
 		})
 	}
@@ -163,5 +170,48 @@ func TestFinishExportsAndDoctor(t *testing.T) {
 	}
 	if !strings.Contains(summary, "crawl doctor:") {
 		t.Errorf("summary missing doctor report:\n%s", summary)
+	}
+}
+
+// TestFinishSeriesExports runs the series half of the Finish path: CSV
+// and JSON export files plus the sparkline summary block.
+func TestFinishSeriesExports(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "run.csv")
+	jsonPath := filepath.Join(dir, "run.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-series-out", csvPath, "-series-json", jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Setup(7)
+	for i := 0; i < 10; i++ {
+		s.Series.Observe("crawler.fetch.ok", int64(i)*1000, float64(i*10))
+	}
+
+	summary, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "series: 1 series, 10 samples on the virtual clock") {
+		t.Errorf("summary missing series tally:\n%s", summary)
+	}
+	if !strings.Contains(summary, "▁") || !strings.Contains(summary, "█") {
+		t.Errorf("summary missing sparkline glyphs:\n%s", summary)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("CSV export not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csvData), "series,kind,tier,") ||
+		!strings.Contains(string(csvData), "crawler.fetch.ok,raw,") {
+		t.Errorf("CSV export malformed:\n%s", csvData)
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON export not written: %v", err)
+	}
+	if !strings.Contains(string(jsonData), `"crawler.fetch.ok"`) {
+		t.Errorf("JSON export missing series:\n%s", jsonData)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
 
@@ -31,6 +32,8 @@ type Options struct {
 	Traces *trace.Recorder
 	// Logs backs /logs and feeds /doctor.
 	Logs *evlog.Sink
+	// Series backs /timeseries and feeds /doctor's time-aware rules.
+	Series *series.Recorder
 	// Progress backs /progress: called per request, must be safe to call
 	// concurrently with the workload, and its result must JSON-marshal.
 	Progress func() any
@@ -45,6 +48,7 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/traces", o.traces)
 	mux.HandleFunc("/trace", o.traceByID)
 	mux.HandleFunc("/logs", o.logs)
+	mux.HandleFunc("/timeseries", o.timeseries)
 	mux.HandleFunc("/doctor", o.doctor)
 	mux.HandleFunc("/progress", o.progress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -96,6 +100,7 @@ func (o Options) index(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("/traces             recent+pinned traces (?url= &op= &err= &pinned=1 &limit= &format=text|json|chrome|summary)\n")
 	b.WriteString("/trace?id=<hex>     one trace by ID\n")
 	b.WriteString("/logs               event log (?component= &level= &msg= &trace= &limit= &format=text|json|logfmt)\n")
+	b.WriteString("/timeseries         virtual-time metric series (?name= &width= &format=text|csv|json)\n")
 	b.WriteString("/doctor             ranked crawl diagnosis (?severity= &rule= &format=json)\n")
 	b.WriteString("/progress           live workload progress (JSON)\n")
 	b.WriteString("/debug/pprof/       runtime profiles\n")
@@ -111,13 +116,46 @@ func (o Options) index(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(b.String()))
 }
 
+// checkFormat validates the format query parameter against a handler's
+// whitelist. A present-but-unknown format is an error — falling through
+// to the text rendering would silently ignore what the caller asked for.
+func checkFormat(r *http.Request, allowed ...string) (string, error) {
+	raw := r.URL.Query().Get("format")
+	for _, a := range allowed {
+		if raw == a {
+			return raw, nil
+		}
+	}
+	return "", fmt.Errorf("bad format %q (want %s)", raw, strings.Join(allowed[1:], "|"))
+}
+
+// parseLimit validates the limit query parameter (0 when absent). A
+// present-but-unparsable limit is an error — ignoring it would silently
+// return the unbounded result.
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q (want a non-negative integer)", raw)
+	}
+	return n, nil
+}
+
 func (o Options) metrics(w http.ResponseWriter, r *http.Request) {
 	if o.Registry == nil {
 		http.Error(w, "metrics off: no registry attached", http.StatusNotFound)
 		return
 	}
+	format, err := checkFormat(r, "", "text", "json")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	snap := o.Registry.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
+	if format == "json" {
 		writeJSONBlob(w, func() ([]byte, error) { return snap.JSON() })
 		return
 	}
@@ -125,8 +163,9 @@ func (o Options) metrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(snap.Text()))
 }
 
-// parseFilter maps /traces query parameters onto a trace.Filter.
-func parseFilter(r *http.Request) trace.Filter {
+// parseFilter maps /traces query parameters onto a trace.Filter. Present
+// but unparsable parameters are errors, same contract as parseLogFilter.
+func parseFilter(r *http.Request) (trace.Filter, error) {
 	q := r.URL.Query()
 	f := trace.Filter{
 		Key:      q.Get("url"),
@@ -136,13 +175,19 @@ func parseFilter(r *http.Request) trace.Filter {
 	if f.Key == "" {
 		f.Key = q.Get("key")
 	}
-	if v := q.Get("pinned"); v == "1" || v == "true" {
+	switch v := q.Get("pinned"); v {
+	case "1", "true":
 		f.PinnedOnly = true
+	case "", "0", "false":
+	default:
+		return f, fmt.Errorf("bad pinned %q (want 1|true|0|false)", v)
 	}
-	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
-		f.Limit = n
+	n, err := parseLimit(r)
+	if err != nil {
+		return f, err
 	}
-	return f
+	f.Limit = n
+	return f, nil
 }
 
 func (o Options) traces(w http.ResponseWriter, r *http.Request) {
@@ -150,8 +195,18 @@ func (o Options) traces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tracing off: no recorder attached", http.StatusNotFound)
 		return
 	}
-	s := o.Traces.Snapshot().Filter(parseFilter(r))
-	switch r.URL.Query().Get("format") {
+	f, err := parseFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	format, err := checkFormat(r, "", "text", "json", "chrome", "summary")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s := o.Traces.Snapshot().Filter(f)
+	switch format {
 	case "json":
 		writeJSONBlob(w, s.JSON)
 	case "chrome":
@@ -176,6 +231,11 @@ func (o Options) traceByID(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	format, err := checkFormat(r, "", "text", "json")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	s := o.Traces.Snapshot()
 	t := s.Find(id)
 	if t == nil {
@@ -183,7 +243,7 @@ func (o Options) traceByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	one := &trace.Snapshot{StartSeq: s.StartSeq, Traces: []*trace.Trace{t}}
-	if r.URL.Query().Get("format") == "json" {
+	if format == "json" {
 		writeJSONBlob(w, one.JSON)
 		return
 	}
@@ -207,12 +267,18 @@ func parseLogFilter(r *http.Request) (evlog.Filter, error) {
 		}
 		f.MinLevel = lv
 	}
-	if id, err := trace.ParseID(q.Get("trace")); err == nil && id != 0 {
+	if raw := q.Get("trace"); raw != "" {
+		id, err := trace.ParseID(raw)
+		if err != nil {
+			return f, fmt.Errorf("bad trace %q: %v", raw, err)
+		}
 		f.Trace = uint64(id)
 	}
-	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
-		f.Limit = n
+	n, err := parseLimit(r)
+	if err != nil {
+		return f, err
 	}
+	f.Limit = n
 	return f, nil
 }
 
@@ -226,8 +292,13 @@ func (o Options) logs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	format, err := checkFormat(r, "", "text", "json", "logfmt")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	s := o.Logs.Snapshot().Filter(f)
-	switch r.URL.Query().Get("format") {
+	switch format {
 	case "json":
 		writeJSONBlob(w, s.JSON)
 	case "logfmt":
@@ -240,8 +311,23 @@ func (o Options) logs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (o Options) doctor(w http.ResponseWriter, r *http.Request) {
-	if o.Registry == nil && o.Traces == nil && o.Logs == nil {
+	if o.Registry == nil && o.Traces == nil && o.Logs == nil && o.Series == nil {
 		http.Error(w, "doctor off: no observability surfaces attached", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	minSev, rule := doctor.Note, q.Get("rule")
+	if raw := q.Get("severity"); raw != "" {
+		sv, ok := doctor.ParseSeverity(raw)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad severity %q (want note|warning|critical)", raw), http.StatusBadRequest)
+			return
+		}
+		minSev = sv
+	}
+	format, err := checkFormat(r, "", "text", "json")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	in := doctor.Input{}
@@ -254,21 +340,54 @@ func (o Options) doctor(w http.ResponseWriter, r *http.Request) {
 	if o.Logs != nil {
 		in.Logs = o.Logs.Snapshot()
 	}
-	rep := doctor.Diagnose(in)
-	q := r.URL.Query()
-	minSev, rule := doctor.Note, q.Get("rule")
-	if sv, ok := doctor.ParseSeverity(q.Get("severity")); ok {
-		minSev = sv
+	if o.Series != nil {
+		in.Series = o.Series.Snapshot()
 	}
+	rep := doctor.Diagnose(in)
 	if minSev != doctor.Note || rule != "" {
 		rep = rep.Filter(minSev, rule)
 	}
-	if q.Get("format") == "json" {
+	if format == "json" {
 		writeJSONBlob(w, rep.JSON)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(rep.Text()))
+}
+
+// timeseries serves the virtual-time series pillar: every sampled metric
+// series with its sparkline, trend numbers, and raw/rollup exports.
+func (o Options) timeseries(w http.ResponseWriter, r *http.Request) {
+	if o.Series == nil {
+		http.Error(w, "timeseries off: no recorder attached", http.StatusNotFound)
+		return
+	}
+	format, err := checkFormat(r, "", "text", "csv", "json")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	width := 32
+	if raw := q.Get("width"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad width %q (want a positive integer)", raw), http.StatusBadRequest)
+			return
+		}
+		width = n
+	}
+	s := o.Series.Snapshot().Narrow(q.Get("name"))
+	switch format {
+	case "json":
+		writeJSONBlob(w, s.JSON)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_, _ = w.Write([]byte(s.CSV()))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.TextWidth(width)))
+	}
 }
 
 func (o Options) progress(w http.ResponseWriter, r *http.Request) {

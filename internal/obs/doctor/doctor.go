@@ -24,6 +24,7 @@ import (
 
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
 
@@ -81,6 +82,20 @@ type Input struct {
 	Metrics obs.Snapshot
 	Traces  *trace.Snapshot
 	Logs    *evlog.Snapshot
+	Series  *series.Snapshot
+}
+
+// seriesPoints returns one series' raw sample stream, or nil when the
+// time-series pillar (or that series) is absent.
+func (in Input) seriesPoints(name string) []series.Point {
+	if in.Series == nil {
+		return nil
+	}
+	sd := in.Series.Get(name)
+	if sd == nil {
+		return nil
+	}
+	return sd.Points
 }
 
 // traceErrs returns the trace error-class tally, or an empty map when

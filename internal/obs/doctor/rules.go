@@ -32,6 +32,11 @@ var rules = []func(Input) []Finding{
 	degradedCompletion,
 	errorBurst,
 	logShedding,
+	// Time-aware rules (timerules.go) — need the series pillar.
+	harvestDecay,
+	breakerOscillation,
+	frontierStarvationTrend,
+	throughputCliff,
 }
 
 // harvestCollapse fires when the classifier rejects most of what the

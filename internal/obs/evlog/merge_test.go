@@ -75,6 +75,60 @@ func TestMergeSumsTotalsAndStats(t *testing.T) {
 	}
 }
 
+// TestMergeSingleShardIsIdentity pins the DoP-1 degenerate case: a fleet
+// of one shard must export exactly what the shard exported alone.
+func TestMergeSingleShardIsIdentity(t *testing.T) {
+	a := sinkWith("shard0", 10, 20, 30).Snapshot()
+	m := Merge(a)
+	if m.Logfmt() != a.Logfmt() {
+		t.Error("single-shard merge changed the logfmt export")
+	}
+	if m.Stats != a.Stats {
+		t.Errorf("single-shard merge stats = %+v, want %+v", m.Stats, a.Stats)
+	}
+}
+
+// TestMergeEmptyShardPillars covers shards that logged nothing: a fresh
+// sink's snapshot must be absorbed without disturbing the export,
+// wherever it sits in the shard order.
+func TestMergeEmptyShardPillars(t *testing.T) {
+	empty := NewSink(DefaultConfig(1)).Snapshot()
+	if len(empty.Records) != 0 || empty.Stats.Emitted != 0 {
+		t.Fatalf("fresh sink snapshot not empty: %+v", empty)
+	}
+	a := sinkWith("shard0", 10, 30).Snapshot()
+	b := sinkWith("shard1", 20).Snapshot()
+	want := Merge(a, b).Logfmt()
+	for name, m := range map[string]*Snapshot{
+		"empty-first":  Merge(empty, a, b),
+		"empty-middle": Merge(a, empty, b),
+		"empty-last":   Merge(a, b, empty),
+	} {
+		if m.Logfmt() != want {
+			t.Errorf("%s: empty shard pillar changed the merged export", name)
+		}
+	}
+	if allEmpty := Merge(empty, NewSink(DefaultConfig(2)).Snapshot()); len(allEmpty.Records) != 0 {
+		t.Errorf("all-empty merge produced records: %+v", allEmpty.Records)
+	}
+}
+
+// TestMergeFencedShardDegraded models a degraded fleet: a fenced shard
+// contributes no snapshot (nil), and the merge must render exactly the
+// surviving shards' fleet — the fenced hole is invisible to the export.
+func TestMergeFencedShardDegraded(t *testing.T) {
+	s0 := sinkWith("shard0", 10, 30).Snapshot()
+	s2 := sinkWith("shard2", 20, 40).Snapshot()
+	degraded := Merge(s0, nil, s2)
+	if degraded.Logfmt() != Merge(s0, s2).Logfmt() {
+		t.Error("fenced-shard merge differs from the surviving-shards merge")
+	}
+	if degraded.Stats.Emitted != s0.Stats.Emitted+s2.Stats.Emitted {
+		t.Errorf("degraded Emitted = %d, want %d",
+			degraded.Stats.Emitted, s0.Stats.Emitted+s2.Stats.Emitted)
+	}
+}
+
 func TestMergeDeepCopiesAttrsAndSkipsNil(t *testing.T) {
 	s := NewSink(DefaultConfig(1))
 	s.Logger("shard0").Info("unit.event", 5, trace.String("k", "orig"))

@@ -1,0 +1,380 @@
+// Package series is the fourth observability pillar: deterministic
+// virtual-clock time series over the metric registry. A Recorder
+// periodically samples registry counters and gauges (per crawl cycle in
+// the plain crawler, per BSP round at the fleet barrier in the sharded
+// one) and retains each metric's history in a bounded raw ring plus
+// tiered downsampling rollups, so "harvest rate over crawl progress" —
+// the paper's temporal pitfall analysis — becomes a first-class,
+// byte-identical export instead of an end-of-run total.
+//
+// Everything is a pure function of the sample stream: timestamps come
+// from the deterministic virtual clocks, ring eviction never feeds the
+// rollup cascade (tiers accumulate from the stream itself, not from
+// evicted entries), and snapshots capture the full internal state so a
+// checkpoint/resume cut replays to byte-identical exports.
+package series
+
+import (
+	"sort"
+	"sync"
+
+	"webtextie/internal/obs"
+)
+
+// Config sizes a Recorder's per-series retention. The zero value of any
+// field falls back to DefaultConfig.
+type Config struct {
+	// RawCap bounds the raw sample ring (newest RawCap points kept).
+	RawCap int `json:"raw_cap"`
+	// RollupEvery is the downsampling fan-in: every RollupEvery samples
+	// fold into one tier-0 rollup, every RollupEvery tier-0 rollups fold
+	// into one tier-1 rollup, and so on.
+	RollupEvery int `json:"rollup_every"`
+	// Tiers is the number of rollup tiers kept above the raw ring.
+	Tiers int `json:"tiers"`
+	// TierCap bounds each tier's rollup ring.
+	TierCap int `json:"tier_cap"`
+}
+
+// DefaultConfig is the retention shape the CLIs use: 512 raw samples and
+// two rollup tiers of 256 entries folding 8-to-1, which covers ~33k
+// samples of history in bounded memory.
+func DefaultConfig() Config {
+	return Config{RawCap: 512, RollupEvery: 8, Tiers: 2, TierCap: 256}
+}
+
+// normalized fills zero or out-of-range fields from DefaultConfig.
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.RawCap <= 0 {
+		c.RawCap = d.RawCap
+	}
+	if c.RollupEvery <= 1 {
+		c.RollupEvery = d.RollupEvery
+	}
+	if c.Tiers <= 0 {
+		c.Tiers = d.Tiers
+	}
+	if c.TierCap <= 0 {
+		c.TierCap = d.TierCap
+	}
+	return c
+}
+
+// Point is one sample on the virtual clock.
+type Point struct {
+	AtMs int64   `json:"at_ms"`
+	V    float64 `json:"v"`
+}
+
+// Rollup is the downsampled summary of a run of consecutive samples (or,
+// in higher tiers, of consecutive lower-tier rollups).
+type Rollup struct {
+	FromMs int64   `json:"from_ms"`
+	ToMs   int64   `json:"to_ms"`
+	Count  int64   `json:"count"`
+	First  float64 `json:"first"`
+	Last   float64 `json:"last"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Sum    float64 `json:"sum"`
+}
+
+// addPoint folds one sample into the accumulator.
+func (r *Rollup) addPoint(p Point) {
+	if r.Count == 0 {
+		*r = Rollup{FromMs: p.AtMs, ToMs: p.AtMs, Count: 1, First: p.V, Last: p.V, Min: p.V, Max: p.V, Sum: p.V}
+		return
+	}
+	r.Count++
+	r.ToMs = p.AtMs
+	r.Last = p.V
+	if p.V < r.Min {
+		r.Min = p.V
+	}
+	if p.V > r.Max {
+		r.Max = p.V
+	}
+	r.Sum += p.V
+}
+
+// addRollup folds a finished lower-tier rollup into the accumulator.
+func (r *Rollup) addRollup(o Rollup) {
+	if r.Count == 0 {
+		*r = o
+		return
+	}
+	r.Count += o.Count
+	r.ToMs = o.ToMs
+	r.Last = o.Last
+	if o.Min < r.Min {
+		r.Min = o.Min
+	}
+	if o.Max > r.Max {
+		r.Max = o.Max
+	}
+	r.Sum += o.Sum
+}
+
+// tierState is one rollup tier: a partial accumulator plus a bounded
+// ring of finished rollups. accN counts the children (samples for tier
+// 0, lower-tier rollups above) folded into acc so far — kept separately
+// because acc.Count in higher tiers counts raw samples, not children.
+type tierState struct {
+	acc     Rollup
+	accN    int
+	ring    []Rollup
+	head    int
+	n       int
+	evicted int64
+}
+
+func (t *tierState) push(cap int, r Rollup) {
+	if t.ring == nil {
+		t.ring = make([]Rollup, cap)
+	}
+	if t.n < len(t.ring) {
+		t.ring[(t.head+t.n)%len(t.ring)] = r
+		t.n++
+		return
+	}
+	t.ring[t.head] = r
+	t.head = (t.head + 1) % len(t.ring)
+	t.evicted++
+}
+
+// rollups returns the live ring entries oldest-first.
+func (t *tierState) rollups() []Rollup {
+	if t.n == 0 {
+		return nil
+	}
+	out := make([]Rollup, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.head+i)%len(t.ring)]
+	}
+	return out
+}
+
+// seriesState is one metric's retained history.
+type seriesState struct {
+	total int64 // samples ever observed, including evicted
+	raw   []Point
+	head  int
+	n     int
+	tiers []tierState
+}
+
+func newSeriesState(cfg Config) *seriesState {
+	return &seriesState{raw: make([]Point, cfg.RawCap), tiers: make([]tierState, cfg.Tiers)}
+}
+
+func (st *seriesState) add(cfg Config, p Point) {
+	st.total++
+	if st.n < len(st.raw) {
+		st.raw[(st.head+st.n)%len(st.raw)] = p
+		st.n++
+	} else {
+		st.raw[st.head] = p
+		st.head = (st.head + 1) % len(st.raw)
+	}
+	if len(st.tiers) == 0 {
+		return
+	}
+	// The cascade feeds from the sample stream, never from ring
+	// eviction: tier 0's accumulator sees every sample, tier i+1's sees
+	// every tier-i flush. That makes every tier a pure function of the
+	// stream, which is what lets a resumed recorder replay to the exact
+	// state of an uninterrupted one.
+	t0 := &st.tiers[0]
+	t0.acc.addPoint(p)
+	t0.accN++
+	for i := range st.tiers {
+		t := &st.tiers[i]
+		if t.accN < cfg.RollupEvery {
+			break
+		}
+		flushed := t.acc
+		t.push(cfg.TierCap, flushed)
+		t.acc, t.accN = Rollup{}, 0
+		if i+1 < len(st.tiers) {
+			next := &st.tiers[i+1]
+			next.acc.addRollup(flushed)
+			next.accN++
+		}
+	}
+}
+
+// points returns the live raw ring oldest-first.
+func (st *seriesState) points() []Point {
+	if st.n == 0 {
+		return nil
+	}
+	out := make([]Point, st.n)
+	for i := 0; i < st.n; i++ {
+		out[i] = st.raw[(st.head+i)%len(st.raw)]
+	}
+	return out
+}
+
+// Recorder accumulates time series. All methods are safe on a nil
+// receiver (no-ops / zero values), so callers gate sampling with a
+// single nil check, and safe for concurrent use — though the crawl
+// integration only ever samples from one goroutine (per cycle, or
+// post-barrier at the fleet round boundary).
+type Recorder struct {
+	mu     sync.Mutex
+	cfg    Config
+	series map[string]*seriesState
+}
+
+// New returns an empty Recorder with cfg (zero fields defaulted).
+func New(cfg Config) *Recorder {
+	return &Recorder{cfg: cfg.normalized(), series: map[string]*seriesState{}}
+}
+
+// Config returns the recorder's normalized retention config.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// Observe appends one sample to the named series. Names follow the same
+// constant lower-dotted grammar as metric names (the lintx seriesname
+// check enforces this at call sites outside internal/obs).
+func (r *Recorder) Observe(name string, atMs int64, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observe(name, atMs, v)
+}
+
+func (r *Recorder) observe(name string, atMs int64, v float64) {
+	st := r.series[name]
+	if st == nil {
+		st = newSeriesState(r.cfg)
+		r.series[name] = st
+	}
+	st.add(r.cfg, Point{AtMs: atMs, V: v})
+}
+
+// Sample appends one sample per counter and gauge in the registry
+// snapshot, all stamped atMs. Counters are folded first (sorted by
+// name), then gauges (sorted by name); a gauge whose name collides with
+// a counter is skipped, so each series stays single-kinded. Histograms
+// are not sampled — their count/sum already surface as derived series
+// where callers need them.
+func (r *Recorder) Sample(atMs int64, snap obs.Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.observe(n, atMs, float64(snap.Counters[n]))
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		if _, dup := snap.Counters[n]; dup {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.observe(n, atMs, float64(snap.Gauges[n]))
+	}
+}
+
+// Snapshot freezes the recorder: every series sorted by name, raw rings
+// and rollup tiers unrolled oldest-first, partial accumulators included.
+// The snapshot is a deep copy and captures enough state that Load into a
+// fresh recorder continues the streams exactly where they stopped.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &Snapshot{Config: r.cfg, Series: make([]*SeriesData, 0, len(r.series))}
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := r.series[name]
+		sd := &SeriesData{Name: name, Total: st.total, Points: st.points()}
+		if len(st.tiers) > 0 {
+			sd.Tiers = make([]TierData, len(st.tiers))
+			for i := range st.tiers {
+				t := &st.tiers[i]
+				td := TierData{AccN: t.accN, Rollups: t.rollups(), Evicted: t.evicted}
+				if t.accN > 0 {
+					acc := t.acc
+					td.Acc = &acc
+				}
+				sd.Tiers[i] = td
+			}
+		}
+		out.Series = append(out.Series, sd)
+	}
+	return out
+}
+
+// Load replaces the recorder's state with the snapshot's — the restore
+// half of checkpoint/resume. The snapshot's config is adopted (so a
+// resumed run keeps the retention shape it was checkpointed with), and
+// subsequent samples behave exactly as if the recorder had never been
+// restarted.
+func (r *Recorder) Load(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg = s.Config.normalized()
+	r.series = make(map[string]*seriesState, len(s.Series))
+	for _, sd := range s.Series {
+		if sd == nil {
+			continue
+		}
+		st := newSeriesState(r.cfg)
+		st.total = sd.Total
+		for _, p := range sd.Points {
+			if st.n < len(st.raw) {
+				st.raw[st.n] = p
+				st.n++
+			} else {
+				st.raw[st.head] = p
+				st.head = (st.head + 1) % len(st.raw)
+			}
+		}
+		for i := range st.tiers {
+			if i >= len(sd.Tiers) {
+				break
+			}
+			td := sd.Tiers[i]
+			t := &st.tiers[i]
+			t.accN = td.AccN
+			if td.Acc != nil {
+				t.acc = *td.Acc
+			}
+			for _, ru := range td.Rollups {
+				t.push(r.cfg.TierCap, ru)
+			}
+			t.evicted = td.Evicted
+		}
+		r.series[sd.Name] = st
+	}
+}

@@ -1,0 +1,293 @@
+package series
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"webtextie/internal/obs"
+)
+
+// feed observes a deterministic ramp into the named series.
+func feed(r *Recorder, name string, n int) {
+	for i := 0; i < n; i++ {
+		r.Observe(name, int64(i*10), float64(i))
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Observe("x.y", 1, 2)
+	r.Sample(1, obs.Snapshot{Counters: map[string]int64{"a.b": 1}})
+	r.Load(&Snapshot{})
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil recorder snapshot = %v, want nil", s)
+	}
+	if c := r.Config(); c != (Config{}) {
+		t.Fatalf("nil recorder config = %+v, want zero", c)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	r := New(Config{})
+	if got, want := r.Config(), DefaultConfig(); got != want {
+		t.Fatalf("zero config normalized to %+v, want %+v", got, want)
+	}
+	r = New(Config{RawCap: 4, RollupEvery: 2, Tiers: 1, TierCap: 3})
+	if got := r.Config(); got.RawCap != 4 || got.RollupEvery != 2 || got.Tiers != 1 || got.TierCap != 3 {
+		t.Fatalf("explicit config mangled: %+v", got)
+	}
+}
+
+func TestRawRingEvictsOldest(t *testing.T) {
+	r := New(Config{RawCap: 4, RollupEvery: 2, Tiers: 1, TierCap: 8})
+	feed(r, "m.x", 6)
+	sd := r.Snapshot().Get("m.x")
+	if sd == nil {
+		t.Fatal("series m.x missing from snapshot")
+	}
+	if sd.Total != 6 {
+		t.Fatalf("total = %d, want 6", sd.Total)
+	}
+	want := []Point{{20, 2}, {30, 3}, {40, 4}, {50, 5}}
+	if len(sd.Points) != len(want) {
+		t.Fatalf("points = %v, want %v", sd.Points, want)
+	}
+	for i, p := range want {
+		if sd.Points[i] != p {
+			t.Fatalf("points[%d] = %v, want %v", i, sd.Points[i], p)
+		}
+	}
+}
+
+func TestRollupCascade(t *testing.T) {
+	r := New(Config{RawCap: 64, RollupEvery: 2, Tiers: 2, TierCap: 8})
+	feed(r, "m.x", 5) // values 0..4 at 0,10,..,40
+	sd := r.Snapshot().Get("m.x")
+	if len(sd.Tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(sd.Tiers))
+	}
+	t0 := sd.Tiers[0]
+	if len(t0.Rollups) != 2 {
+		t.Fatalf("tier0 rollups = %v, want 2 entries", t0.Rollups)
+	}
+	if got, want := t0.Rollups[0], (Rollup{FromMs: 0, ToMs: 10, Count: 2, First: 0, Last: 1, Min: 0, Max: 1, Sum: 1}); got != want {
+		t.Fatalf("tier0 rollup[0] = %+v, want %+v", got, want)
+	}
+	if t0.Acc == nil || t0.Acc.Count != 1 || t0.Acc.First != 4 || t0.AccN != 1 {
+		t.Fatalf("tier0 acc = %+v accN=%d, want partial single-sample acc", t0.Acc, t0.AccN)
+	}
+	t1 := sd.Tiers[1]
+	if len(t1.Rollups) != 1 {
+		t.Fatalf("tier1 rollups = %v, want 1 entry", t1.Rollups)
+	}
+	if got, want := t1.Rollups[0], (Rollup{FromMs: 0, ToMs: 30, Count: 4, First: 0, Last: 3, Min: 0, Max: 3, Sum: 6}); got != want {
+		t.Fatalf("tier1 rollup[0] = %+v, want %+v", got, want)
+	}
+}
+
+// TestRollupsIndependentOfRawEviction pins the determinism argument: the
+// rollup cascade is a pure function of the sample stream, so a tiny raw
+// ring (heavy eviction) and a huge one retain identical tiers.
+func TestRollupsIndependentOfRawEviction(t *testing.T) {
+	small := New(Config{RawCap: 2, RollupEvery: 4, Tiers: 2, TierCap: 16})
+	big := New(Config{RawCap: 4096, RollupEvery: 4, Tiers: 2, TierCap: 16})
+	for _, r := range []*Recorder{small, big} {
+		for i := 0; i < 300; i++ {
+			r.Observe("m.x", int64(i*7), math.Sin(float64(i)))
+		}
+	}
+	a, b := small.Snapshot().Get("m.x"), big.Snapshot().Get("m.x")
+	aj, _ := json.Marshal(a.Tiers)
+	bj, _ := json.Marshal(b.Tiers)
+	if string(aj) != string(bj) {
+		t.Fatalf("rollup tiers depend on raw ring size:\nsmall: %s\nbig:   %s", aj, bj)
+	}
+}
+
+func TestSampleOrderAndCollision(t *testing.T) {
+	r := New(DefaultConfig())
+	r.Sample(100, obs.Snapshot{
+		Counters: map[string]int64{"b.count": 2, "a.count": 1, "both.kinds": 7},
+		Gauges:   map[string]int64{"c.gauge": 3, "both.kinds": 9},
+	})
+	s := r.Snapshot()
+	var names []string
+	for _, sd := range s.Series {
+		names = append(names, sd.Name)
+	}
+	if got, want := strings.Join(names, " "), "a.count b.count both.kinds c.gauge"; got != want {
+		t.Fatalf("series names = %q, want %q", got, want)
+	}
+	if p, _ := s.Get("both.kinds").Last(); p.V != 7 {
+		t.Fatalf("counter/gauge collision resolved to %v, want the counter (7)", p.V)
+	}
+}
+
+func TestSnapshotLoadRoundTripContinuesStream(t *testing.T) {
+	cfg := Config{RawCap: 8, RollupEvery: 3, Tiers: 2, TierCap: 4}
+	full := New(cfg)
+	cut := New(cfg)
+	for i := 0; i < 100; i++ {
+		full.Observe("m.x", int64(i), float64(i%13))
+		if i < 41 {
+			cut.Observe("m.x", int64(i), float64(i%13))
+		}
+	}
+	// Resume: checkpoint at sample 41, load into a fresh recorder, feed
+	// the remainder. Exports must be byte-identical to uninterrupted.
+	resumed := New(DefaultConfig()) // deliberately different config: Load adopts the snapshot's
+	resumed.Load(cut.Snapshot())
+	for i := 41; i < 100; i++ {
+		resumed.Observe("m.x", int64(i), float64(i%13))
+	}
+	if got, want := resumed.Snapshot().CSV(), full.Snapshot().CSV(); got != want {
+		t.Fatalf("resumed CSV diverges from uninterrupted:\nresumed:\n%s\nfull:\n%s", got, want)
+	}
+	gj, _ := resumed.Snapshot().JSON()
+	wj, _ := full.Snapshot().JSON()
+	if string(gj) != string(wj) {
+		t.Fatalf("resumed JSON diverges from uninterrupted")
+	}
+}
+
+func TestTwoRunByteIdentity(t *testing.T) {
+	run := func() string {
+		r := New(Config{RawCap: 16, RollupEvery: 4, Tiers: 2, TierCap: 8})
+		for i := 0; i < 123; i++ {
+			r.Sample(int64(i*25), obs.Snapshot{
+				Counters: map[string]int64{"fetch.ok": int64(i * 2), "classify.relevant": int64(i / 3)},
+				Gauges:   map[string]int64{"frontier.pending": int64(1000 - i*7)},
+			})
+		}
+		s := r.Snapshot()
+		j, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.CSV() + string(j) + s.Text()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("two identical sample streams rendered different exports")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	pts := []Point{{0, 10}, {1000, 20}, {2000, 30}, {3000, 40}}
+	if got := Delta(pts); got != 30 {
+		t.Errorf("Delta = %v, want 30", got)
+	}
+	if got := Rate(pts); got != 10 {
+		t.Errorf("Rate = %v, want 10/s", got)
+	}
+	if got := Slope(pts); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Slope = %v, want 10/s", got)
+	}
+	if got := MovingAvg(pts, 2); got != 35 {
+		t.Errorf("MovingAvg(2) = %v, want 35", got)
+	}
+	if got := MovingAvg(pts, 99); got != 25 {
+		t.Errorf("MovingAvg(99) = %v, want 25", got)
+	}
+	if got := Window(pts, 1000, 2000); len(got) != 2 || got[0].AtMs != 1000 {
+		t.Errorf("Window = %v, want the middle two points", got)
+	}
+	// Degenerate windows.
+	if Delta(nil) != 0 || Rate(nil) != 0 || Slope(nil) != 0 || MovingAvg(nil, 3) != 0 {
+		t.Error("empty-window queries should all be 0")
+	}
+	same := []Point{{5, 1}, {5, 2}}
+	if Rate(same) != 0 || Slope(same) != 0 {
+		t.Error("zero-time-span queries should be 0")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	r := New(Config{RawCap: 4, RollupEvery: 2, Tiers: 1, TierCap: 4})
+	feed(r, "m.x", 3)
+	csv := r.Snapshot().CSV()
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if lines[0] != "series,kind,tier,from_ms,to_ms,count,first,last,min,max,sum" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	want := []string{
+		"m.x,raw,-1,0,0,1,0,0,0,0,0",
+		"m.x,raw,-1,10,10,1,1,1,1,1,1",
+		"m.x,raw,-1,20,20,1,2,2,2,2,2",
+		"m.x,rollup,0,0,10,2,0,1,0,1,1",
+		"m.x,acc,0,20,20,1,2,2,2,2,2",
+	}
+	if got := strings.Join(lines[1:], "\n"); got != strings.Join(want, "\n") {
+		t.Fatalf("csv rows:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 8); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	up := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}, {7, 7}}
+	if got := Sparkline(up, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q, want full ladder", got)
+	}
+	flat := []Point{{0, 5}, {1, 5}, {2, 5}}
+	if got := Sparkline(flat, 8); got != "▅▅▅" {
+		t.Errorf("flat sparkline = %q, want mid-level glyphs", got)
+	}
+	// Downsampling: more points than width still renders width glyphs.
+	var long []Point
+	for i := 0; i < 100; i++ {
+		long = append(long, Point{int64(i), float64(i)})
+	}
+	if got := Sparkline(long, 8); len([]rune(got)) != 8 {
+		t.Errorf("downsampled sparkline %q has %d glyphs, want 8", got, len([]rune(got)))
+	}
+}
+
+func TestGetAndFilter(t *testing.T) {
+	r := New(DefaultConfig())
+	feed(r, "crawler.fetch.ok", 2)
+	feed(r, "crawler.fetch.err", 2)
+	feed(r, "fleet.rounds", 2)
+	s := r.Snapshot()
+	if s.Get("crawler.fetch.ok") == nil || s.Get("nope") != nil {
+		t.Fatal("Get lookup broken")
+	}
+	if got := len(s.Filter("fetch")); got != 2 {
+		t.Fatalf("Filter(fetch) = %d series, want 2", got)
+	}
+	if got := len(s.Filter("")); got != 3 {
+		t.Fatalf("Filter(\"\") = %d series, want all 3", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("worker.%d.ops", g)
+			for i := 0; i < 500; i++ {
+				r.Observe(name, int64(i), float64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Series) != 8 {
+		t.Fatalf("series count = %d, want 8", len(s.Series))
+	}
+	for _, sd := range s.Series {
+		if sd.Total != 500 {
+			t.Fatalf("%s total = %d, want 500", sd.Name, sd.Total)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package series
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a frozen Recorder: retention config plus every series
+// sorted by name. It is the unit that rides checkpoints, merges into
+// fleet results, and renders the exports.
+type Snapshot struct {
+	Config Config        `json:"config"`
+	Series []*SeriesData `json:"series,omitempty"`
+}
+
+// SeriesData is one metric's frozen history: the raw ring oldest-first
+// plus each rollup tier's finished rollups and partial accumulator.
+type SeriesData struct {
+	Name   string     `json:"name"`
+	Total  int64      `json:"total"`
+	Points []Point    `json:"points,omitempty"`
+	Tiers  []TierData `json:"tiers,omitempty"`
+}
+
+// TierData is one frozen rollup tier. Acc is the partial accumulator
+// (nil when empty); AccN counts the children folded into it so a Load
+// knows when the next flush is due; Evicted counts rollups the bounded
+// ring has dropped.
+type TierData struct {
+	Acc     *Rollup  `json:"acc,omitempty"`
+	AccN    int      `json:"acc_n,omitempty"`
+	Rollups []Rollup `json:"rollups,omitempty"`
+	Evicted int64    `json:"evicted,omitempty"`
+}
+
+// Get returns the named series, or nil when absent.
+func (s *Snapshot) Get(name string) *SeriesData {
+	if s == nil {
+		return nil
+	}
+	i := sort.Search(len(s.Series), func(i int) bool { return s.Series[i].Name >= name })
+	if i < len(s.Series) && s.Series[i].Name == name {
+		return s.Series[i]
+	}
+	return nil
+}
+
+// Filter returns the series whose names contain substr (all of them for
+// the empty string), preserving name order.
+func (s *Snapshot) Filter(substr string) []*SeriesData {
+	if s == nil {
+		return nil
+	}
+	out := make([]*SeriesData, 0, len(s.Series))
+	for _, sd := range s.Series {
+		if strings.Contains(sd.Name, substr) {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// Narrow returns a snapshot view holding only the series whose names
+// contain substr (the snapshot itself for the empty string). Series data
+// is shared with the receiver, not copied.
+func (s *Snapshot) Narrow(substr string) *Snapshot {
+	if s == nil || substr == "" {
+		return s
+	}
+	return &Snapshot{Config: s.Config, Series: s.Filter(substr)}
+}
+
+// Windowed queries. The package-level forms work over any point window
+// (the doctor's time-aware rules slice their own early/late windows);
+// the SeriesData methods apply them to the full retained raw ring.
+
+// Delta returns last minus first value of the window (0 with fewer than
+// two points).
+func Delta(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	return pts[len(pts)-1].V - pts[0].V
+}
+
+// Rate returns the window's average change per second of virtual time
+// (0 with fewer than two points or a non-positive time span).
+func Rate(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	dt := pts[len(pts)-1].AtMs - pts[0].AtMs
+	if dt <= 0 {
+		return 0
+	}
+	return Delta(pts) * 1000 / float64(dt)
+}
+
+// MovingAvg returns the mean of the last n values (all of them when the
+// window is shorter; 0 when empty or n <= 0).
+func MovingAvg(pts []Point, n int) float64 {
+	if n <= 0 || len(pts) == 0 {
+		return 0
+	}
+	if n > len(pts) {
+		n = len(pts)
+	}
+	var sum float64
+	for _, p := range pts[len(pts)-n:] {
+		sum += p.V
+	}
+	return sum / float64(n)
+}
+
+// Slope returns the least-squares trend of the window in value units per
+// second of virtual time (0 with fewer than two points or zero time
+// variance).
+func Slope(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	// Center timestamps on the window start to keep the sums small.
+	t0 := pts[0].AtMs
+	var sumT, sumV, sumTT, sumTV float64
+	for _, p := range pts {
+		t := float64(p.AtMs - t0)
+		sumT += t
+		sumV += p.V
+		sumTT += t * t
+		sumTV += t * p.V
+	}
+	n := float64(len(pts))
+	den := n*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	return (n*sumTV - sumT*sumV) / den * 1000
+}
+
+// Window returns the points with fromMs <= AtMs <= toMs.
+func Window(pts []Point, fromMs, toMs int64) []Point {
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].AtMs >= fromMs })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].AtMs > toMs })
+	if lo >= hi {
+		return nil
+	}
+	return pts[lo:hi]
+}
+
+// Delta applies Delta to the retained raw window.
+func (sd *SeriesData) Delta() float64 { return Delta(sd.Points) }
+
+// Rate applies Rate to the retained raw window.
+func (sd *SeriesData) Rate() float64 { return Rate(sd.Points) }
+
+// MovingAvg applies MovingAvg to the retained raw window.
+func (sd *SeriesData) MovingAvg(n int) float64 { return MovingAvg(sd.Points, n) }
+
+// Slope applies Slope to the retained raw window.
+func (sd *SeriesData) Slope() float64 { return Slope(sd.Points) }
+
+// Last returns the newest retained point.
+func (sd *SeriesData) Last() (Point, bool) {
+	if len(sd.Points) == 0 {
+		return Point{}, false
+	}
+	return sd.Points[len(sd.Points)-1], true
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CSV renders the snapshot as a deterministic table, one row per raw
+// point, finished rollup, or partial accumulator:
+//
+//	series,kind,tier,from_ms,to_ms,count,first,last,min,max,sum
+//
+// Raw points are degenerate rollup rows (kind raw, tier -1, from = to,
+// count 1, every value column the sample). Rows sort by series name,
+// then raw before rollups, then tier, then time — byte-identical for
+// identical sample streams.
+func (s *Snapshot) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,kind,tier,from_ms,to_ms,count,first,last,min,max,sum\n")
+	if s == nil {
+		return b.String()
+	}
+	row := func(name, kind string, tier int, r Rollup) {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+			name, kind, tier, r.FromMs, r.ToMs, r.Count,
+			fmtFloat(r.First), fmtFloat(r.Last), fmtFloat(r.Min), fmtFloat(r.Max), fmtFloat(r.Sum))
+	}
+	for _, sd := range s.Series {
+		for _, p := range sd.Points {
+			row(sd.Name, "raw", -1, Rollup{FromMs: p.AtMs, ToMs: p.AtMs, Count: 1, First: p.V, Last: p.V, Min: p.V, Max: p.V, Sum: p.V})
+		}
+		for tier, td := range sd.Tiers {
+			for _, r := range td.Rollups {
+				row(sd.Name, "rollup", tier, r)
+			}
+			if td.Acc != nil {
+				row(sd.Name, "acc", tier, *td.Acc)
+			}
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as deterministic indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders a one-line summary per series — retained/total sample
+// counts, last value, window delta/rate/slope, and a sparkline of the
+// retained window:
+//
+//	crawler.fetch.ok n=12 total=12 last=118 delta=108 rate=3.2/s slope=0.4/s ▁▂▃▅▆█
+func (s *Snapshot) Text() string { return s.TextWidth(32) }
+
+// TextWidth renders Text with sparklines up to width glyphs wide.
+func (s *Snapshot) TextWidth(width int) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, sd := range s.Series {
+		last, _ := sd.Last()
+		fmt.Fprintf(&b, "%s n=%d total=%d last=%s delta=%s rate=%s/s slope=%s/s %s\n",
+			sd.Name, len(sd.Points), sd.Total, fmtFloat(last.V),
+			fmtFloat(sd.Delta()), fmtFloat(sd.Rate()), fmtFloat(sd.Slope()),
+			Sparkline(sd.Points, width))
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block-element levels, lowest to highest.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the window as width block glyphs, bucket-averaging
+// when the window is longer than width. A flat window renders at the
+// mid level; an empty one renders empty.
+func Sparkline(pts []Point, width int) string {
+	if len(pts) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(pts) {
+		width = len(pts)
+	}
+	// Average the points into width buckets (last bucket may be short).
+	vals := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo, hi := i*len(pts)/width, (i+1)*len(pts)/width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, p := range pts[lo:hi] {
+			sum += p.V
+		}
+		vals[i] = sum / float64(hi-lo)
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		level := len(sparkGlyphs) / 2
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(sparkGlyphs)-1))
+			if level >= len(sparkGlyphs) {
+				level = len(sparkGlyphs) - 1
+			}
+		}
+		b.WriteRune(sparkGlyphs[level])
+	}
+	return b.String()
+}

@@ -89,6 +89,76 @@ func TestMergeSkipsNilAndMergesNothing(t *testing.T) {
 	_ = empty.Text()
 }
 
+// TestMergeSingleShardIsIdentity pins the DoP-1 degenerate case: a fleet
+// of one shard must export exactly what the shard exported alone.
+func TestMergeSingleShardIsIdentity(t *testing.T) {
+	a := recorderWith(1, "a/", 3).Snapshot()
+	m := Merge(a)
+	if m.Text() != a.Text() {
+		t.Error("single-shard merge changed the text export")
+	}
+	mj, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mj) != string(aj) {
+		t.Error("single-shard merge changed the JSON export")
+	}
+}
+
+// TestMergeEmptyShardPillars covers shards that traced nothing: a fresh
+// recorder's snapshot must be absorbed without disturbing the export,
+// wherever it sits in the shard order.
+func TestMergeEmptyShardPillars(t *testing.T) {
+	empty := NewRecorder(DefaultConfig(1)).Snapshot()
+	if empty.StartSeq != 0 || len(empty.Traces) != 0 {
+		t.Fatalf("fresh recorder snapshot not empty: %+v", empty)
+	}
+	a := recorderWith(1, "a/", 2).Snapshot()
+	b := recorderWith(1, "b/", 2).Snapshot()
+	want := Merge(a, b).Text()
+	for name, m := range map[string]*Snapshot{
+		"empty-first":  Merge(empty, a, b),
+		"empty-middle": Merge(a, empty, b),
+		"empty-last":   Merge(a, b, empty),
+	} {
+		if m.Text() != want {
+			t.Errorf("%s: empty shard pillar changed the merged export", name)
+		}
+		if m.StartSeq != a.StartSeq+b.StartSeq {
+			t.Errorf("%s: merged StartSeq = %d, want %d", name, m.StartSeq, a.StartSeq+b.StartSeq)
+		}
+	}
+	allEmpty := Merge(NewRecorder(DefaultConfig(1)).Snapshot(), NewRecorder(DefaultConfig(2)).Snapshot())
+	if allEmpty.Text() != "" && len(allEmpty.Traces) != 0 {
+		t.Errorf("all-empty merge produced traces: %+v", allEmpty.Traces)
+	}
+}
+
+// TestMergeFencedShardDegraded models a degraded fleet: a fenced shard
+// contributes no snapshot (nil), and the merge must render exactly the
+// surviving shards' fleet — the fenced hole is invisible to the export.
+func TestMergeFencedShardDegraded(t *testing.T) {
+	s0 := recorderWith(1, "s0/", 2).Snapshot()
+	s2 := recorderWith(1, "s2/", 2).Snapshot()
+	degraded := Merge(s0, nil, s2)
+	if degraded.Text() != Merge(s0, s2).Text() {
+		t.Error("fenced-shard merge differs from the surviving-shards merge")
+	}
+	for _, key := range []string{"s0/a", "s0/b", "s2/a", "s2/b"} {
+		if !strings.Contains(degraded.Text(), key) {
+			t.Errorf("degraded merge lost surviving trace %q", key)
+		}
+	}
+	if degraded.StartSeq != s0.StartSeq+s2.StartSeq {
+		t.Errorf("degraded StartSeq = %d, want %d", degraded.StartSeq, s0.StartSeq+s2.StartSeq)
+	}
+}
+
 func TestMergedSnapshotExports(t *testing.T) {
 	m := Merge(recorderWith(1, "a/", 2).Snapshot(), recorderWith(1, "b/", 2).Snapshot())
 	text := m.Text()

@@ -1,0 +1,128 @@
+package synthweb
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"webtextie/internal/mimetype"
+	"webtextie/internal/rng"
+	"webtextie/internal/textgen"
+)
+
+func decayWeb(t testing.TB, decay float64) *Web {
+	t.Helper()
+	lex := textgen.NewLexicon(rng.New(1), textgen.LexiconSizes{Genes: 300, Drugs: 120, Diseases: 120}, 0.75)
+	gen := textgen.NewGenerator(2, lex, textgen.DefaultProfiles())
+	cfg := DefaultConfig()
+	cfg.NumHosts = 120
+	cfg.DepthDecay = decay
+	return New(cfg, gen)
+}
+
+// TestDepthDecayZeroPreservesWeb: DepthDecay is strictly opt-in — the zero
+// value renders every page byte-identical to a config without the field, so
+// all existing golden fixtures and determinism baselines are untouched.
+func TestDepthDecayZeroPreservesWeb(t *testing.T) {
+	base := testWeb(t)
+	zero := decayWeb(t, 0)
+	for _, h := range base.Hosts[:30] {
+		for i := 0; i < h.Pages && i < 12; i++ {
+			u := PageURL(h.Name, i)
+			a, errA := base.Fetch(u)
+			b, errB := zero.Fetch(u)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s: fetch error mismatch (%v vs %v)", u, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if string(a.Body) != string(b.Body) || a.Relevant != b.Relevant {
+				t.Fatalf("%s: DepthDecay=0 page differs from default web", u)
+			}
+		}
+	}
+}
+
+// TestDepthDecayRelevanceFallsWithIndex: with decay on, biomedical hosts are
+// dense near the front and sparse in the tail — the harvest-rate pitfall the
+// time-aware doctor is built to catch.
+func TestDepthDecayRelevanceFallsWithIndex(t *testing.T) {
+	w := decayWeb(t, 0.25)
+	var shallowRel, shallowN, deepRel, deepN int
+	for _, h := range w.Hosts {
+		if !h.Biomed || h.Hub {
+			continue
+		}
+		for i := 1; i < h.Pages; i++ {
+			p, err := w.Fetch(PageURL(h.Name, i))
+			if err != nil || !p.MIME.IsTextual() || p.Lang != "en" {
+				continue
+			}
+			if i <= 6 {
+				shallowN++
+				if p.Relevant {
+					shallowRel++
+				}
+			} else if i >= 25 {
+				deepN++
+				if p.Relevant {
+					deepRel++
+				}
+			}
+		}
+	}
+	if shallowN < 50 || deepN < 50 {
+		t.Fatalf("sample too small: shallow=%d deep=%d", shallowN, deepN)
+	}
+	shallow := float64(shallowRel) / float64(shallowN)
+	deep := float64(deepRel) / float64(deepN)
+	if shallow < 0.12 {
+		t.Errorf("shallow relevant density = %.3f, want a dense front (>= 0.12)", shallow)
+	}
+	if deep > shallow/2 {
+		t.Errorf("deep density %.3f not < half of shallow %.3f: no decay", deep, shallow)
+	}
+}
+
+// TestDepthDecayForwardBiasedLinks: intra-host links under decay point a
+// bounded window ahead, so a crawl marches from the dense front into the
+// sparse tail instead of sampling indices uniformly.
+func TestDepthDecayForwardBiasedLinks(t *testing.T) {
+	w := decayWeb(t, 0.25)
+	checked := 0
+	for _, h := range w.Hosts {
+		if h.Hub {
+			continue
+		}
+		for i := 1; i < h.Pages-1 && checked < 300; i++ {
+			p, err := w.Fetch(PageURL(h.Name, i))
+			if err != nil || p.MIME != mimetype.HTML {
+				continue
+			}
+			for _, l := range p.Links {
+				lh, path, err := SplitURL(l)
+				if err != nil || lh != h.Name {
+					continue
+				}
+				mid, ok := strings.CutPrefix(path, "/p")
+				mid, ok2 := strings.CutSuffix(mid, ".html")
+				if !ok || !ok2 {
+					continue
+				}
+				ti, err := strconv.Atoi(mid)
+				if err != nil {
+					continue
+				}
+				checked++
+				if ti <= i || ti > i+6 {
+					t.Fatalf("host %s page %d links intra-host to %d, want (%d, %d]",
+						h.Name, i, ti, i, i+6)
+				}
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d intra-host links inspected", checked)
+	}
+}

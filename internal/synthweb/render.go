@@ -9,6 +9,18 @@ import (
 	"webtextie/internal/textgen"
 )
 
+// depthDecayOnset is the default page index where DepthDecay begins to
+// bite: density is uniform through this front band, hyperbolic beyond it.
+const depthDecayOnset = 8
+
+// decayOnset resolves the configured front-band width.
+func (w *Web) decayOnset() int {
+	if w.cfg.DepthDecayOnset > 0 {
+		return w.cfg.DepthDecayOnset
+	}
+	return depthDecayOnset
+}
+
 // renderPage materializes a regular page.
 func (w *Web) renderPage(h *Host, idx int) *Page {
 	r := w.pageRNG(h, idx)
@@ -30,7 +42,16 @@ func (w *Web) renderPage(h *Host, idx int) *Page {
 
 	// Topical gold label.
 	if h.Biomed {
-		p.Relevant = !r.Bool(w.cfg.OffTopicShareOnBiomed)
+		off := w.cfg.OffTopicShareOnBiomed
+		if onset := w.decayOnset(); w.cfg.DepthDecay > 0 && idx > onset {
+			// Depth-decaying relevance: density holds through the front
+			// band (the curated hub pages a crawl enters through), then
+			// deeper pages are increasingly off-topic. Still exactly one
+			// Bool draw per page, so the noise and fault draws that
+			// follow stay aligned across idx.
+			off = 1 - (1-off)/(1+w.cfg.DepthDecay*float64(idx-onset))
+		}
+		p.Relevant = !r.Bool(off)
 	} else {
 		p.Relevant = r.Bool(w.cfg.BiomedShareOnGeneral)
 	}
@@ -193,7 +214,18 @@ func (w *Web) pageLinks(r *rng.RNG, h *Host, idx int, p *Page) []string {
 	for i := 0; i < nLinks; i++ {
 		if r.Bool(w.cfg.IntraHostLinkShare) {
 			// Navigational or same-host content link.
-			add(PageURL(h.Name, r.Intn(h.Pages)))
+			ti := r.Intn(h.Pages)
+			if w.cfg.DepthDecay > 0 && idx+1 < h.Pages {
+				// Forward-biased navigation: link a small window ahead,
+				// so the frontier marches from the dense shallow pages
+				// into the sparse tail over crawl rounds.
+				window := h.Pages - idx - 1
+				if window > 6 {
+					window = 6
+				}
+				ti = idx + 1 + r.Intn(window)
+			}
+			add(PageURL(h.Name, ti))
 			continue
 		}
 		// Cross-host link with topical locality. Most cross-host links

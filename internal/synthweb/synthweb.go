@@ -61,6 +61,19 @@ type Config struct {
 	// "blogger.com often also contain[s] some biomedical material", §4.1).
 	OffTopicShareOnBiomed float64
 	BiomedShareOnGeneral  float64
+	// DepthDecay models the paper's central temporal pitfall: relevant-page
+	// density on biomedical hosts holds through the front band (the first
+	// 8 pages — the curated hubs a crawl enters through), then decays with
+	// page index (the off-topic share rises hyperbolically with
+	// DepthDecay*(idx-8)), and intra-host navigation becomes
+	// forward-biased — deep pages link deeper — so a crawl's harvest rate
+	// falls as it digs in. 0 (the default) keeps density uniform and
+	// preserves the exact RNG draw sequence of pre-decay webs.
+	DepthDecay float64
+	// DepthDecayOnset overrides the front-band width (how many pages stay
+	// at full density before DepthDecay bites). <= 0 means the default 8.
+	// Only consulted when DepthDecay > 0.
+	DepthDecayOnset int
 	// FailureRate injects transient fetch failures (timeouts, 5xx): the
 	// given fraction of URLs is flaky and fails its first k fetch attempts
 	// with ErrFetchFailed before succeeding (k is drawn per URL in

@@ -7,7 +7,7 @@ GO ?= go
 # Packages with real concurrency (worth the ~100x race-detector slowdown).
 RACE_PKGS = ./internal/obs/... ./internal/dataflow/... ./internal/crawler/...
 
-.PHONY: build test vet lint race chaos supervisor-chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 alloc-gate trace-golden log-golden doctor-golden series-golden shard-determinism verify
+.PHONY: build test vet lint race chaos supervisor-chaos fuzz bench bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-all alloc-gate trace-golden log-golden doctor-golden series-golden prof-golden shard-determinism verify
 
 build:
 	$(GO) build ./...
@@ -115,6 +115,23 @@ bench-pr9:
 	$(GO) test -run=NONE -bench 'SupervisedShardCrawlSeries' -benchtime 1x ./internal/crawler/shard/supervisor/ | tee /tmp/bench_pr9.out
 	$(GO) run ./cmd/benchjson < /tmp/bench_pr9.out > BENCH_PR9.json
 
+# Regenerate the committed cost-profiling baseline (BENCH_PR10.json):
+# the PR-8 supervised DoP-4 fleet plan rerun with per-shard cost
+# profiling off and on. The gate (bench_pr10_test.go) pins the
+# profiling-off vdocs/s within 2% of BENCH_PR9's sampling-off number — a
+# detached profiler must be free. Compare the two baselines with
+# `go run ./cmd/benchjson compare BENCH_PR9.json BENCH_PR10.json`.
+bench-pr10:
+	$(GO) test -run=NONE -bench 'SupervisedShardCrawlProf' -benchtime 1x ./internal/crawler/shard/supervisor/ | tee /tmp/bench_pr10.out
+	$(GO) run ./cmd/benchjson < /tmp/bench_pr10.out > BENCH_PR10.json
+
+# Regenerate every committed benchmark baseline in one pass, oldest
+# first. `make verify` never runs benchmarks (its gates read only the
+# committed BENCH_*.json numbers); run this when a PR moves performance
+# on purpose and the committed baselines must follow, then eyeball the
+# diffs with `go run ./cmd/benchjson compare`.
+bench-all: bench-baseline bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10
+
 # Enforce the committed allocs/op budgets with testing.AllocsPerRun —
 # the dynamic counterpart of the static allocfree/boxing/hotpathpurity
 # checks in `make lint`.
@@ -152,6 +169,20 @@ series-golden:
 	$(GO) test -run 'TimeRules|HarvestDecay|Timeseries|DepthDecay|Golden/seriesname' \
 		./internal/obs/doctor/ ./internal/obs/debugserv/ ./internal/synthweb/ ./internal/analysis/checks/
 
+# Golden-test the cost-profile pillar: two-lane recording, export byte
+# stability, and merge/snapshot algebra in the package; stage accounting,
+# the profiling-off twin, and checkpoint/resume identity in the crawler;
+# fleet merge DoP 1 vs N identity in the shard runner; crash-recovery
+# identity under the supervisor; the profile-aware doctor rules; the
+# /profile endpoint; profdiff and the -max-regress compare gate; and the
+# lintx profname fixture.
+prof-golden:
+	$(GO) test ./internal/obs/prof/ ./cmd/benchjson/
+	$(GO) test -run 'Prof|Profile' \
+		./internal/crawler/ ./internal/crawler/shard/ ./internal/crawler/shard/supervisor/ \
+		./internal/dataflow/ ./internal/obs/doctor/ ./internal/obs/debugserv/
+	$(GO) test -run 'Golden/profname|ProfName' ./internal/analysis/checks/
+
 # The sharded-crawl determinism harness: byte identity of the merged
 # corpus/metrics/trace/log exports across DoP 1 vs N, across reruns,
 # against the plain (unsharded) crawler, under chaos, and across a
@@ -160,4 +191,4 @@ shard-determinism:
 	$(GO) test -run 'Deterministic|Matches|Identical|Partition|Reshard' \
 		./internal/crawler/shard/
 
-verify: build test vet lint race chaos supervisor-chaos trace-golden log-golden doctor-golden series-golden shard-determinism alloc-gate
+verify: build test vet lint race chaos supervisor-chaos trace-golden log-golden doctor-golden series-golden prof-golden shard-determinism alloc-gate

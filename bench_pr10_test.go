@@ -1,0 +1,45 @@
+package webtextie
+
+// Gate over the committed cost-profiling baseline (BENCH_PR10.json,
+// regenerated with `make bench-pr10`). The benchmarks rerun the PR-8
+// supervised DoP-4 fleet plan with per-shard cost profiling off and on.
+// With profiling off the profiler is a nil pointer behind one branch per
+// stage, so the profiling-off run's virtual throughput must sit within
+// 2% of the committed BENCH_PR9 sampling-off number (same plan, same
+// web, same budget). The profiling-on entry is informational: it
+// documents the per-stage atomic-add price and proves the merged profile
+// actually attributed cost.
+
+import "testing"
+
+// TestBenchPR10ProfOverheadGate enforces the profiling-off overhead
+// contract on the committed numbers.
+func TestBenchPR10ProfOverheadGate(t *testing.T) {
+	pr9 := loadBenchMetrics(t, "BENCH_PR9.json")
+	pr10 := loadBenchMetrics(t, "BENCH_PR10.json")
+	base := pr9["BenchmarkSupervisedShardCrawlSeriesOffDoP4"]
+	off := pr10["BenchmarkSupervisedShardCrawlProfOffDoP4"]
+	on := pr10["BenchmarkSupervisedShardCrawlProfOnDoP4"]
+	if base == nil {
+		t.Fatal("BENCH_PR9.json is missing the sampling-off benchmark; regenerate with `make bench-pr9`")
+	}
+	if off == nil || on == nil {
+		t.Fatal("BENCH_PR10.json is missing the prof off/on benchmarks; regenerate with `make bench-pr10`")
+	}
+	for name, m := range map[string]map[string]float64{"off": off, "on": on} {
+		if m["webpages"] != base["webpages"] || m["fetched"] != base["fetched"] {
+			t.Errorf("prof-%s bench ran a different plan: %.0f pages fetched of a %.0f-page web, want %.0f of %.0f",
+				name, m["fetched"], m["webpages"], base["fetched"], base["webpages"])
+		}
+		if m["vdocs/s"] <= 0 || m["ns/op"] <= 0 {
+			t.Fatalf("BENCH_PR10.json prof-%s carries non-positive timings: %v", name, m)
+		}
+	}
+	if min := base["vdocs/s"] * 0.98; off["vdocs/s"] < min {
+		t.Errorf("profiling-off fleet throughput %.2f vdocs/s is below 98%% of the PR-9 %.2f; a detached profiler must be free",
+			off["vdocs/s"], base["vdocs/s"])
+	}
+	if on["scopes"] <= 0 {
+		t.Errorf("profiling-on bench attributed %v scopes, want > 0", on["scopes"])
+	}
+}

@@ -71,6 +71,7 @@ func main() {
 	obsSetup := obsFlags.Setup(cfg.Corpora.Seed)
 	cfg.ExecTrace = obsSetup.Traces
 	cfg.ExecLog = obsSetup.Logs
+	cfg.ExecProf = obsSetup.Prof
 	var phase atomic.Value
 	phase.Store("building system")
 	addr, err := obsSetup.Serve(func() any {

@@ -9,16 +9,29 @@
 //
 // The compare mode diffs two committed baselines metric by metric:
 //
-//	go run ./cmd/benchjson compare BENCH_PR8.json BENCH_PR9.json
+//	go run ./cmd/benchjson compare [-max-regress PCT] BENCH_PR8.json BENCH_PR9.json
 //
 // printing old value, new value, and percentage delta per shared
 // benchmark metric, plus the benchmarks present on only one side. Output
-// order is deterministic (benchmark name, then metric name).
+// order is deterministic (benchmark name, then metric name). With
+// -max-regress, compare exits non-zero when any shared metric regressed
+// by more than PCT percent; direction comes from the unit ("/s" rates
+// are higher-better, ns/op / B/op / allocs/op are lower-better, anything
+// else is informational and never gates).
+//
+// The profdiff mode diffs two cost-profile JSON exports (the -prof-out
+// files of internal/obs/prof) scope by scope:
+//
+//	go run ./cmd/benchjson profdiff before.json after.json
+//
+// printing self-ms old/new/delta per shared scope plus scopes present on
+// only one side, in scope-name order.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +39,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"webtextie/internal/obs/prof"
 )
 
 // Baseline is the file-level structure of BENCH_BASELINE.json.
@@ -94,16 +109,32 @@ func loadBaseline(path string) (Baseline, error) {
 	return b, nil
 }
 
-// compare renders the metric-by-metric diff of two baseline files.
-func compare(w io.Writer, oldPath, newPath string) error {
+// metricDirection classifies a benchmark unit: +1 when higher is better
+// ("/s" rates), -1 when lower is better (time, bytes, allocations), 0
+// when the direction is unknown (informational only — never gated).
+func metricDirection(unit string) int {
+	switch {
+	case strings.HasSuffix(unit, "/s"):
+		return 1
+	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
+		return -1
+	}
+	return 0
+}
+
+// compare renders the metric-by-metric diff of two baseline files and
+// returns the shared metrics that regressed by more than maxRegress
+// percent (none when maxRegress < 0).
+func compare(w io.Writer, oldPath, newPath string, maxRegress float64) ([]string, error) {
 	oldB, err := loadBaseline(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newB, err := loadBaseline(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var regressions []string
 	oldByName := map[string]BenchmarkEntry{}
 	for _, e := range oldB.Benchmarks {
 		oldByName[e.Name] = e
@@ -132,6 +163,16 @@ func compare(w io.Writer, oldPath, newPath string) error {
 				fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, m, fmtMetric(ov), fmtMetric(nv), "n/a")
 			default:
 				fmt.Fprintf(w, "%-60s %-12s %14s %14s %+8.1f%%\n", e.Name, m, fmtMetric(ov), fmtMetric(nv), 100*(nv-ov)/ov)
+				if maxRegress >= 0 {
+					// A regression moves against the unit's good
+					// direction by more than the threshold.
+					worse := float64(metricDirection(m)) * 100 * (ov - nv) / ov
+					if worse > maxRegress {
+						regressions = append(regressions,
+							fmt.Sprintf("%s %s: %s -> %s (%.1f%% worse, max %.1f%%)",
+								e.Name, m, fmtMetric(ov), fmtMetric(nv), worse, maxRegress))
+					}
+				}
 			}
 		}
 	}
@@ -139,6 +180,63 @@ func compare(w io.Writer, oldPath, newPath string) error {
 		if !seen[e.Name] {
 			fmt.Fprintf(w, "%-60s %-12s %14s %14s %9s\n", e.Name, "-", "-", "-", "removed")
 		}
+	}
+	return regressions, nil
+}
+
+// loadProfExport reads one -prof-out JSON file (the prof.Export shape).
+func loadProfExport(path string) (prof.Export, error) {
+	var e prof.Export
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		return e, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}
+
+// profdiff renders the scope-by-scope self-cost diff of two profile
+// exports.
+func profdiff(w io.Writer, oldPath, newPath string) error {
+	oldE, err := loadProfExport(oldPath)
+	if err != nil {
+		return err
+	}
+	newE, err := loadProfExport(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]prof.ExportScope{}
+	for _, s := range oldE.Scopes {
+		oldByName[s.Name] = s
+	}
+	fmt.Fprintf(w, "%-40s %12s %12s %9s\n", "scope", "old_self_ms", "new_self_ms", "delta")
+	seen := map[string]bool{}
+	for _, s := range newE.Scopes {
+		o, shared := oldByName[s.Name]
+		switch {
+		case !shared:
+			fmt.Fprintf(w, "%-40s %12s %12d %9s\n", s.Name, "-", s.SelfMs, "added")
+		case o.SelfMs == 0:
+			fmt.Fprintf(w, "%-40s %12d %12d %9s\n", s.Name, o.SelfMs, s.SelfMs, "n/a")
+		default:
+			fmt.Fprintf(w, "%-40s %12d %12d %+8.1f%%\n", s.Name, o.SelfMs, s.SelfMs,
+				100*float64(s.SelfMs-o.SelfMs)/float64(o.SelfMs))
+		}
+		seen[s.Name] = true
+	}
+	for _, s := range oldE.Scopes {
+		if !seen[s.Name] {
+			fmt.Fprintf(w, "%-40s %12d %12s %9s\n", s.Name, s.SelfMs, "-", "removed")
+		}
+	}
+	if oldE.TotalVirtualMs != 0 {
+		fmt.Fprintf(w, "%-40s %12d %12d %+8.1f%%\n", "TOTAL", oldE.TotalVirtualMs, newE.TotalVirtualMs,
+			100*float64(newE.TotalVirtualMs-oldE.TotalVirtualMs)/float64(oldE.TotalVirtualMs))
+	} else {
+		fmt.Fprintf(w, "%-40s %12d %12d %9s\n", "TOTAL", oldE.TotalVirtualMs, newE.TotalVirtualMs, "n/a")
 	}
 	return nil
 }
@@ -154,11 +252,33 @@ func fmtMetric(v float64) string {
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		if len(os.Args) != 4 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson compare OLD.json NEW.json")
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		maxRegress := fs.Float64("max-regress", -1,
+			"exit non-zero when any shared metric regresses by more than this percentage")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson compare [-max-regress PCT] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := compare(os.Stdout, os.Args[2], os.Args[3]); err != nil {
+		regressions, err := compare(os.Stdout, fs.Arg(0), fs.Arg(1), *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "profdiff" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson profdiff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := profdiff(os.Stdout, os.Args[2], os.Args[3]); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

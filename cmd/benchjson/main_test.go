@@ -91,7 +91,7 @@ func TestCompareOutput(t *testing.T) {
 		{"name":"BenchmarkShared","iterations":1,"metrics":{"ns/op":900,"vdocs/s":12,"zero":3,"extra":1}}]}`), 0o644)
 
 	var b strings.Builder
-	if err := compare(&b, oldPath, newPath); err != nil {
+	if _, err := compare(&b, oldPath, newPath, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -108,7 +108,7 @@ func TestCompareOutput(t *testing.T) {
 	}
 	// Deterministic: same inputs, same bytes.
 	var again strings.Builder
-	if err := compare(&again, oldPath, newPath); err != nil {
+	if _, err := compare(&again, oldPath, newPath, -1); err != nil {
 		t.Fatal(err)
 	}
 	if again.String() != out {
@@ -130,5 +130,95 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := parseLine("ok   webtextie/internal/crawler 1.2s"); ok {
 		t.Error("non-benchmark line parsed")
+	}
+}
+
+// TestCompareMaxRegress pins the regression gate: direction comes from
+// the unit, the threshold is a percentage of the old value, and unknown
+// units never gate.
+func TestCompareMaxRegress(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	os.WriteFile(oldPath, []byte(`{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","benchmarks":[
+		{"name":"BenchmarkShared","iterations":1,"metrics":{"ns/op":1000,"vdocs/s":100,"mystery":100}}]}`), 0o644)
+	// ns/op regresses 10% (lower-better, got higher), vdocs/s regresses
+	// 20% (higher-better, got lower), mystery craters but has no known
+	// direction.
+	os.WriteFile(newPath, []byte(`{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","benchmarks":[
+		{"name":"BenchmarkShared","iterations":1,"metrics":{"ns/op":1100,"vdocs/s":80,"mystery":1}}]}`), 0o644)
+
+	var b strings.Builder
+	reg, err := compare(&b, oldPath, newPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 2 {
+		t.Fatalf("regressions = %v, want ns/op and vdocs/s", reg)
+	}
+	if !strings.Contains(reg[0], "ns/op") || !strings.Contains(reg[1], "vdocs/s") {
+		t.Errorf("regressions = %v", reg)
+	}
+	// A looser threshold clears the ns/op miss but not the vdocs/s one.
+	if reg, _ = compare(&strings.Builder{}, oldPath, newPath, 15); len(reg) != 1 || !strings.Contains(reg[0], "vdocs/s") {
+		t.Errorf("at 15%%: regressions = %v, want only vdocs/s", reg)
+	}
+	// Disabled gate: no regressions however bad the diff.
+	if reg, _ = compare(&strings.Builder{}, oldPath, newPath, -1); len(reg) != 0 {
+		t.Errorf("gate off but regressions = %v", reg)
+	}
+	// Improvements never trip the gate.
+	if reg, _ = compare(&strings.Builder{}, newPath, oldPath, 0); len(reg) != 0 {
+		t.Errorf("improvement flagged as regression: %v", reg)
+	}
+}
+
+// TestMetricDirection pins the unit heuristic the gate rests on.
+func TestMetricDirection(t *testing.T) {
+	for unit, want := range map[string]int{
+		"vdocs/s": 1, "pages/s": 1,
+		"ns/op": -1, "B/op": -1, "allocs/op": -1,
+		"fetched": 0, "zero": 0,
+	} {
+		if got := metricDirection(unit); got != want {
+			t.Errorf("metricDirection(%q) = %d, want %d", unit, got, want)
+		}
+	}
+}
+
+// TestProfDiff diffs two synthetic profile exports: shared scopes get
+// signed self-ms deltas, one-sided scopes are labelled, and the output
+// is byte-stable.
+func TestProfDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "before.json")
+	newPath := filepath.Join(dir, "after.json")
+	os.WriteFile(oldPath, []byte(`{"total_virtual_ms":1000,"scopes":[
+		{"name":"crawl.cycle.fetch","calls":10,"self_ms":800,"cum_ms":800},
+		{"name":"crawl.cycle.gone","calls":1,"self_ms":200,"cum_ms":200}]}`), 0o644)
+	os.WriteFile(newPath, []byte(`{"total_virtual_ms":1200,"scopes":[
+		{"name":"crawl.cycle.fetch","calls":10,"self_ms":1000,"cum_ms":1000},
+		{"name":"crawl.cycle.fresh","calls":2,"self_ms":200,"cum_ms":200}]}`), 0o644)
+
+	var b strings.Builder
+	if err := profdiff(&b, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"crawl.cycle.fetch", "+25.0%", // 800 -> 1000
+		"added", "removed",
+		"TOTAL", "+20.0%", // 1000 -> 1200
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profdiff output missing %q:\n%s", want, out)
+		}
+	}
+	var again strings.Builder
+	if err := profdiff(&again, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("profdiff output not byte-stable across calls")
 	}
 }

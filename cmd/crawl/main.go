@@ -65,6 +65,7 @@ import (
 	"webtextie/internal/obs/cliobs"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
@@ -213,6 +214,9 @@ func main() {
 		}
 		if obsSetup.Series != nil {
 			c.WithSeries(obsSetup.Series)
+		}
+		if obsSetup.Prof != nil {
+			c.WithProf(obsSetup.Prof)
 		}
 		addr, err := obsSetup.Serve(func() any { return c.LiveStats() })
 		if err != nil {
@@ -394,6 +398,9 @@ func runSharded(o shardedOpts) {
 	if o.obsSetup.Series != nil {
 		runner.WithSeries(series.DefaultConfig())
 	}
+	if profCfg, on := o.obsSetup.ProfConfig(); on {
+		runner.WithProf(profCfg)
+	}
 	if o.resumeFile == "" {
 		runner.Seed(o.seedURLs)
 	}
@@ -465,17 +472,37 @@ func runSharded(o shardedOpts) {
 
 	// Export files carry the crawl pillars only (byte-identical to an
 	// unsupervised run); the doctor diagnoses crawl and supervision
-	// pillars together.
+	// pillars together. Fleet runs also hand the doctor the unmerged
+	// per-shard profiles so cross-shard rules (stage-cost-skew) can see
+	// the partition balance the merged profile averages away.
+	var shardProfs []*prof.Snapshot
+	if res.Profile != nil {
+		shardProfs = make([]*prof.Snapshot, len(res.PerShard))
+		for i, pr := range res.PerShard {
+			shardProfs[i] = pr.Profile
+		}
+	}
 	var diag *doctor.Input
 	if rep != nil {
 		diag = &doctor.Input{
-			Metrics: res.Metrics.Merge(rep.Metrics),
-			Traces:  mergeSnap(res.Traces, rep.Traces, trace.Merge),
-			Logs:    mergeSnap(res.Logs, rep.Logs, evlog.Merge),
-			Series:  res.Series,
+			Metrics:       res.Metrics.Merge(rep.Metrics),
+			Traces:        mergeSnap(res.Traces, rep.Traces, trace.Merge),
+			Logs:          mergeSnap(res.Logs, rep.Logs, evlog.Merge),
+			Series:        res.Series,
+			Profile:       res.Profile,
+			ShardProfiles: shardProfs,
+		}
+	} else if shardProfs != nil {
+		diag = &doctor.Input{
+			Metrics:       res.Metrics,
+			Traces:        res.Traces,
+			Logs:          res.Logs,
+			Series:        res.Series,
+			Profile:       res.Profile,
+			ShardProfiles: shardProfs,
 		}
 	}
-	summary, err := o.obsSetup.FinishWithDoctor(res.Traces, res.Logs, res.Series, res.Metrics, diag)
+	summary, err := o.obsSetup.FinishWithDoctor(res.Traces, res.Logs, res.Series, res.Profile, res.Metrics, diag)
 	if summary != "" {
 		fmt.Println()
 		fmt.Print(summary)

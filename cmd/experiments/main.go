@@ -50,6 +50,7 @@ func main() {
 	obsSetup := obsFlags.Setup(cfg.Corpora.Seed)
 	cfg.ExecTrace = obsSetup.Traces
 	cfg.ExecLog = obsSetup.Logs
+	cfg.ExecProf = obsSetup.Prof
 	var current atomic.Value
 	current.Store("starting")
 	addr, err := obsSetup.Serve(func() any {

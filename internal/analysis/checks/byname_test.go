@@ -12,8 +12,8 @@ import (
 
 func TestByName(t *testing.T) {
 	all := checks.All()
-	if len(all) != 13 {
-		t.Fatalf("All() returns %d analyzers, want 13 (update this test when adding a check)", len(all))
+	if len(all) != 14 {
+		t.Fatalf("All() returns %d analyzers, want 14 (update this test when adding a check)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, az := range all {

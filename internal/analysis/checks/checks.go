@@ -13,6 +13,9 @@
 //	             grammar; attr keys are constant lower_snake identifiers
 //	seriesname   series recorder keys are constants in the dotted-name
 //	             grammar (the join key of sampling, /timeseries, doctor)
+//	profname     profiler scope names are constants in the dotted-name
+//	             grammar (the dots define the self/cum tree and the
+//	             flame-stack frames)
 //	sleepcall    no blocking time primitives in crawler/dataflow paths
 //	             (backoff runs on the virtual clock, not time.Sleep)
 //	logcall      no fmt/log printing outside package main (library code
@@ -58,6 +61,7 @@ func All() []*analysis.Analyzer {
 		MetricName,
 		TraceName,
 		SeriesName,
+		ProfName,
 		SleepCall,
 		LogCall,
 		AllocFree,

@@ -1,0 +1,66 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"webtextie/internal/analysis"
+)
+
+// ProfName enforces the cost-profile pillar's naming contract at every
+// call site of prof.Profiler.Scope: like metric and series names, a
+// scope name must be a compile-time constant matching the dotted
+// lower-case grammar (metricNameRE). Scope names are structural — the
+// dots define the self/cumulative tree, the flame-stack frames, and the
+// /profile filters — so a dynamic name would corrupt the tree shape and
+// grow the profiler without bound. The one sanctioned builder is a
+// function named ScopeName, which owns the grammar for computed names
+// (the dataflow executor uses it to derive dataflow.op.<name> scopes).
+var ProfName = &analysis.Analyzer{
+	Name: "profname",
+	Doc: "profiler scope names must be compile-time constants matching the dotted " +
+		"lower-case grammar (or built by a ScopeName helper)",
+	Run: runProfName,
+}
+
+func runProfName(pass *analysis.Pass) {
+	// The profiler itself composes names it already validated (Merge,
+	// Narrow, export derivation).
+	if pkgPathMatches(pass.Pkg.PkgPath, "internal/obs/prof") {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "internal/obs/prof") {
+				return true
+			}
+			if fn.Name() != "Scope" {
+				return true
+			}
+			arg := call.Args[0]
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"profiler scope name %q violates the dotted-name grammar (lower-case segments joined by dots)", name)
+				}
+				return true
+			}
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if f := calleeFunc(info, inner); f != nil && f.Name() == "ScopeName" {
+					return true
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"scope name passed to Scope must be a compile-time constant (or a ScopeName builder call): "+
+					"dynamic names corrupt the self/cum tree and unbound profiler growth")
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package checks
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webtextie/internal/analysis"
+)
+
+// TestProfNameReportDeterminism runs profname over its fixture from two
+// fresh loaders — fresh file sets, fresh type universes — and demands
+// byte-identical reports, the same bar the hot-path checks meet.
+func TestProfNameReportDeterminism(t *testing.T) {
+	render := func() string {
+		t.Helper()
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "profname"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, d := range analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{ProfName}) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("profname reports diverge across fresh runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "profname:") {
+		t.Fatalf("expected profname findings, got:\n%s", a)
+	}
+}

@@ -1,0 +1,33 @@
+// Package profname exercises the profname analyzer: non-constant or
+// grammar-violating profiler scope names are flagged; constant dotted
+// names, the ScopeName builder, and suppressed legacy keys are not.
+package profname
+
+import "webtextie/internal/obs/prof"
+
+// Good uses a constant dotted name — not flagged.
+func Good(p *prof.Profiler) {
+	p.Scope("fixture.good.stage")
+}
+
+// BadGrammar violates the dotted-name grammar — flagged.
+func BadGrammar(p *prof.Profiler) {
+	p.Scope("Fixture-Scope")
+}
+
+// Dynamic interpolates operator state into the name — flagged.
+func Dynamic(p *prof.Profiler, op string) {
+	p.Scope("fixture." + op)
+}
+
+// Built routes a computed name through the sanctioned builder — not
+// flagged.
+func Built(p *prof.Profiler, op string) {
+	p.Scope(prof.ScopeName("fixture.op", op))
+}
+
+// Legacy is suppressed: a profile key kept until the dashboards migrate.
+func Legacy(p *prof.Profiler) {
+	//lintx:ignore profname legacy profile key until the dashboards migrate
+	p.Scope("LegacyScope")
+}

@@ -136,7 +136,8 @@ func (s *System) AnalyzeCorpusFunc(reg *Registry, c *corpora.Corpus, dop int,
 	results, execStats, err := dataflow.Execute(plan, records,
 		dataflow.ExecConfig{DoP: dop, Metrics: obs.Default(),
 			Policy: s.Cfg.ExecPolicy, OpRetries: s.Cfg.ExecOpRetries,
-			Trace: s.Cfg.ExecTrace, TraceKey: "id", Log: s.Cfg.ExecLog})
+			Trace: s.Cfg.ExecTrace, TraceKey: "id", Log: s.Cfg.ExecLog,
+			Prof: s.Cfg.ExecProf})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %v: %w", c.Kind, err)
 	}

@@ -19,6 +19,7 @@ import (
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/nlp/postag"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/rng"
 	"webtextie/internal/textgen"
@@ -81,6 +82,9 @@ type Config struct {
 	// execution the system runs, and (unless Corpora.Log is already set)
 	// of corpus construction too — the third observability pillar.
 	ExecLog *evlog.Sink
+	// ExecProf, when set, attributes per-operator cost for every dataflow
+	// execution the system runs — the fifth observability pillar.
+	ExecProf *prof.Profiler
 }
 
 // DefaultConfig returns the standard full-scale (1:10,000) setup.

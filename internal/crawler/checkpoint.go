@@ -16,6 +16,7 @@ import (
 	"webtextie/internal/crawldb"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
@@ -53,6 +54,11 @@ type Checkpoint struct {
 	// calls — after the cycle's sample — so a resumed run's series export
 	// matches an uninterrupted run's byte for byte.
 	Series *series.Snapshot `json:"series,omitempty"`
+	// Profile continues the cost profiler across the restart (nil when
+	// the crawl ran without profiling). The virtual lane replays exactly,
+	// so a resumed run's profile exports match an uninterrupted run's
+	// byte for byte; the wall lane carries over as a running total.
+	Profile *prof.Snapshot `json:"profile,omitempty"`
 }
 
 // Checkpoint freezes the crawler's state. Call it between Step calls
@@ -67,6 +73,8 @@ func (c *Crawler) Checkpoint() *Checkpoint { return c.checkpoint(true) }
 func (c *Crawler) CheckpointSilent() *Checkpoint { return c.checkpoint(false) }
 
 func (c *Crawler) checkpoint(announce bool) *Checkpoint {
+	ph := c.pf.checkpoint.Enter()
+	defer ph.Exit()
 	cp := &Checkpoint{
 		Stats:       c.stats,
 		DB:          c.db.Snapshot(),
@@ -118,6 +126,9 @@ func (c *Crawler) checkpoint(announce bool) *Checkpoint {
 	}
 	if c.series != nil {
 		cp.Series = c.series.Snapshot()
+	}
+	if c.prof != nil {
+		cp.Profile = c.prof.Snapshot()
 	}
 	return cp
 }
@@ -208,5 +219,8 @@ func Resume(cfg Config, web *synthweb.Web, clf *classify.NaiveBayes, cp *Checkpo
 	// Sampling resumes lazily too: WithSeries loads this into the new
 	// recorder.
 	c.resumeSeries = cp.Series
+	// Profiling resumes lazily too: WithProf loads this into the new
+	// profiler.
+	c.resumeProf = cp.Profile
 	return c, nil
 }

@@ -24,6 +24,7 @@ import (
 	"webtextie/internal/mimetype"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
@@ -209,6 +210,11 @@ type Result struct {
 	// one per-cycle sample stream per counter/gauge, on the virtual clock
 	// (nil when the crawl ran without a series recorder).
 	Series *series.Snapshot
+	// Profile is the crawl's cost profile frozen at the end of Run —
+	// virtual milliseconds and call counts attributed to the
+	// frontier/fetch/filter/classify stage tree, plus the wall lane
+	// (nil when the crawl ran without a profiler).
+	Profile *prof.Snapshot
 }
 
 // metrics bundles the crawler's obs instruments. Counters mirror the
@@ -335,6 +341,13 @@ type Crawler struct {
 	series *series.Recorder
 	// resumeSeries remembers the checkpoint's series snapshot for WithSeries.
 	resumeSeries *series.Snapshot
+	// prof is the optional cost profiler (nil = profiling off); pf holds
+	// the pre-resolved stage scopes (zero Scopes when profiling is off,
+	// so hot-path attribution costs one nil comparison).
+	prof *prof.Profiler
+	pf   crawlScopes
+	// resumeProf remembers the checkpoint's profile snapshot for WithProf.
+	resumeProf *prof.Snapshot
 	// live publishes a Stats copy after every cycle so debug-server
 	// goroutines can read crawl progress without racing the crawl loop.
 	live atomic.Pointer[Stats]
@@ -444,6 +457,42 @@ func (c *Crawler) WithSeries(rec *series.Recorder) *Crawler {
 
 // SeriesRecorder returns the attached recorder (nil when sampling is off).
 func (c *Crawler) SeriesRecorder() *series.Recorder { return c.series }
+
+// crawlScopes bundles the crawler's pre-resolved profiler scopes. The
+// zero value is all disabled Scopes — profiling-off call sites cost one
+// nil comparison, the same discipline as crawlLogs.
+type crawlScopes struct {
+	cycle, frontier, fetch, filter, classify, checkpoint prof.Scope
+}
+
+// WithProf points the crawler at a cost profiler: each cycle's
+// generate/fetch work is bracketed on the wall lane (crawl.cycle,
+// crawl.cycle.frontier, crawl.checkpoint), and every fetched page's
+// deterministic virtual-clock cost is attributed to the stage that
+// consumed it — stall+fetch time to crawl.cycle.fetch, processing time
+// to crawl.cycle.filter or crawl.cycle.classify by where the page left
+// the pipeline (fetch-error pages charge processing to the fetch
+// stage). On a resumed crawler the checkpoint's profile snapshot is
+// loaded first, so the accumulators continue exactly where they
+// stopped. Returns the crawler for chaining.
+func (c *Crawler) WithProf(p *prof.Profiler) *Crawler {
+	c.prof = p
+	if c.resumeProf != nil {
+		p.Load(c.resumeProf)
+	}
+	c.pf = crawlScopes{
+		cycle:      p.Scope("crawl.cycle"),
+		frontier:   p.Scope("crawl.cycle.frontier"),
+		fetch:      p.Scope("crawl.cycle.fetch"),
+		filter:     p.Scope("crawl.cycle.filter"),
+		classify:   p.Scope("crawl.cycle.classify"),
+		checkpoint: p.Scope("crawl.checkpoint"),
+	}
+	return c
+}
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (c *Crawler) Profiler() *prof.Profiler { return c.prof }
 
 // MetricsSnapshot freezes the crawler's metric registry. Call it only
 // between Step calls — the shard runner merges per-shard snapshots at
@@ -622,10 +671,12 @@ func (c *Crawler) Step() bool {
 	}
 	c.m.frontierPending.Set(int64(c.db.Pending()))
 	c.m.frontierKnown.Set(int64(c.db.Known()))
+	fh := c.pf.frontier.Enter()
 	list := c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
 	if len(list) == 0 {
 		next, ok := c.db.NextEligible()
 		if !ok {
+			fh.Exit()
 			c.markFrontierEmptied()
 			return false
 		}
@@ -639,10 +690,13 @@ func (c *Crawler) Step() bool {
 		}
 		list = c.db.GenerateAt(c.cfg.FetchListSize, c.cfg.MaxPerHostPerCycle, c.nowMs())
 		if len(list) == 0 {
+			fh.Exit()
 			c.markFrontierEmptied()
 			return false
 		}
 	}
+	fh.Exit()
+	ch := c.pf.cycle.Enter()
 	c.stats.Cycles++
 	c.m.cycles.Inc()
 	before := c.stats.Fetched
@@ -655,6 +709,7 @@ func (c *Crawler) Step() bool {
 	if c.series != nil {
 		c.sampleSeries()
 	}
+	ch.Exit()
 	s := c.stats
 	c.live.Store(&s)
 	return true
@@ -692,6 +747,9 @@ func (c *Crawler) Finish() *Result {
 	if c.series != nil {
 		res.Series = c.series.Snapshot()
 	}
+	if c.prof != nil {
+		res.Profile = c.prof.Snapshot()
+	}
 	s := c.stats
 	c.live.Store(&s)
 	return res
@@ -709,14 +767,16 @@ func (c *Crawler) fetchCycle(list []crawldb.FetchItem) {
 	}
 }
 
-// advanceClock schedules one fetch on the discrete-event clock and returns
-// nothing; stats.VirtualMs tracks the latest completion time. Politeness
-// stalls — time the chosen worker sits idle waiting for the target host's
-// crawl delay to elapse — and the resulting per-page cost are observed on
-// the virtual clock, so the histograms are deterministic for a given seed.
+// advanceClock schedules one fetch on the discrete-event clock;
+// stats.VirtualMs tracks the latest completion time. Politeness stalls —
+// time the chosen worker sits idle waiting for the target host's crawl
+// delay to elapse — and the resulting per-page cost are observed on the
+// virtual clock, so the histograms are deterministic for a given seed.
 // latencyMs is extra server-side latency (slow hosts) on top of the base
-// fetch cost.
-func (c *Crawler) advanceClock(host string, delayMs, latencyMs int) {
+// fetch cost. The return values break the page's worker-time cost down
+// for the profiler's virtual lane: fetchMs is stall + fetch + latency,
+// processMs the downstream filter+classify budget.
+func (c *Crawler) advanceClock(host string, delayMs, latencyMs int) (fetchMs, processMs int64) {
 	// Earliest available worker.
 	w := 0
 	for i := 1; i < len(c.workerFree); i++ {
@@ -734,11 +794,14 @@ func (c *Crawler) advanceClock(host string, delayMs, latencyMs int) {
 	// Per-page processing cost: worker-available to page done, stalls
 	// included (the §4.1 "3-4 documents per second" accounting).
 	c.m.pageCost.Observe(float64(end - c.workerFree[w]))
+	fetchMs = start + int64(c.cfg.FetchCostMs) + int64(latencyMs) - c.workerFree[w]
+	processMs = int64(c.cfg.ProcessCostMs)
 	c.workerFree[w] = end
 	c.hostFree[host] = start + int64(delayMs)
 	if end > c.stats.VirtualMs {
 		c.stats.VirtualMs = end
 	}
+	return fetchMs, processMs
 }
 
 // traceOf re-enters a URL's lineage trace from the ID stamped in the
@@ -772,8 +835,12 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	attempt := c.db.Attempts(item.URL)
 	at := tc.StartSpan("crawler.fetch.attempt", c.nowMs(), trace.Int("attempt", int64(attempt)))
 	page, info, err := c.web.FetchAttempt(item.URL, attempt)
-	c.advanceClock(item.Host, rb.CrawlDelayMs, info.LatencyMs)
+	fetchMs, processMs := c.advanceClock(item.Host, rb.CrawlDelayMs, info.LatencyMs)
+	c.pf.fetch.Add(1, fetchMs)
 	if err != nil {
+		// A failed fetch still consumes the page's processing budget on
+		// the clock; no filter/classify stage ran, so it stays on fetch.
+		c.pf.fetch.Add(0, processMs)
 		at.End(c.nowMs())
 		c.onFetchError(item, attempt, info, err, tc)
 		return
@@ -792,6 +859,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 
 	// MIME filter (content-based detection, the Tika lesson of §5).
 	if !mimetype.Detect(item.URL, page.Body).IsTextual() {
+		c.pf.filter.Add(1, processMs)
 		c.stats.FilteredMIME++
 		c.m.filterMIME.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
@@ -810,6 +878,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 
 	// Length filters.
 	if len(netText) > c.cfg.MaxNetTextLen {
+		c.pf.filter.Add(1, processMs)
 		c.stats.FilteredLength++
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
@@ -824,6 +893,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 
 	// Language filter.
 	if !c.lang.IsEnglish(netText) {
+		c.pf.filter.Add(1, processMs)
 		c.stats.FilteredLang++
 		c.m.filterLang.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
@@ -837,6 +907,7 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 	}
 
 	if len(netText) < c.cfg.MinNetTextLen {
+		c.pf.filter.Add(1, processMs)
 		c.stats.FilteredLength++
 		c.m.filterLength.Inc()
 		c.db.SetStatus(item.URL, crawldb.Filtered)
@@ -848,6 +919,9 @@ func (c *Crawler) fetchOne(item crawldb.FetchItem) {
 		c.finishTrace(tc, "filtered", c.nowMs())
 		return
 	}
+
+	// Pages past the filters spend their processing budget classifying.
+	c.pf.classify.Add(1, processMs)
 
 	// Record the link structure of every parsed page.
 	c.ldb.AddLinks(page.URL, page.Links)

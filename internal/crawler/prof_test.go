@@ -1,0 +1,204 @@
+package crawler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
+	"webtextie/internal/obs/series"
+	"webtextie/internal/obs/trace"
+)
+
+// runWithProf executes a budgeted chaos crawl with the profiler attached
+// and returns the result (Profile is always non-nil).
+func runWithProf(t *testing.T, maxPages int) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MaxPages = maxPages
+	p := chaosPipeline(t, 50, chaosWeb)
+	c := New(cfg, p.web, p.clf).WithProf(prof.New(prof.Config{}))
+	res := c.Run(defaultSeeds(t, p))
+	if res.Profile == nil {
+		t.Fatal("crawl with a profiler produced no profile snapshot")
+	}
+	return res
+}
+
+// TestProfileStageAccounting pins the crawl's cost attribution: every
+// stage scope is populated, all virtual time lands in the three costed
+// stages, and the wall lane brackets cycles without touching the
+// virtual lane.
+func TestProfileStageAccounting(t *testing.T) {
+	res := runWithProf(t, 250)
+	s := res.Profile
+
+	fetch := s.Get("crawl.cycle.fetch")
+	if fetch == nil || fetch.Calls == 0 || fetch.VirtualMs == 0 {
+		t.Fatalf("fetch scope unpopulated: %+v", fetch)
+	}
+	// One virtual-lane call per fetch attempt, successful or not.
+	if want := res.Stats.Fetched + res.Stats.FetchErrors; fetch.Calls != int64(want) {
+		t.Errorf("fetch calls = %d, want %d fetch attempts", fetch.Calls, want)
+	}
+	filter := s.Get("crawl.cycle.filter")
+	classify := s.Get("crawl.cycle.classify")
+	if filter == nil || classify == nil || classify.Calls == 0 {
+		t.Fatalf("filter/classify scopes unpopulated: %+v %+v", filter, classify)
+	}
+	// Every page past the filters was classified.
+	if want := res.Stats.Relevant + res.Stats.Irrelevant; classify.Calls != int64(want) {
+		t.Errorf("classify calls = %d, want %d classified pages", classify.Calls, want)
+	}
+
+	// The export total is exactly the sum of scope self times, and the
+	// cycle scope's cumulative time covers its stage children.
+	exp := s.Export()
+	var sum int64
+	for _, es := range exp.Scopes {
+		sum += es.SelfMs
+	}
+	if exp.TotalVirtualMs != sum {
+		t.Errorf("export total %d != scope self sum %d", exp.TotalVirtualMs, sum)
+	}
+	var cycle *prof.ExportScope
+	for i := range exp.Scopes {
+		if exp.Scopes[i].Name == "crawl.cycle" {
+			cycle = &exp.Scopes[i]
+		}
+	}
+	if cycle == nil {
+		t.Fatal("crawl.cycle scope missing from export")
+	}
+	if want := fetch.VirtualMs + filter.VirtualMs + classify.VirtualMs; cycle.CumMs != want {
+		t.Errorf("crawl.cycle cum %d != stage self sum %d", cycle.CumMs, want)
+	}
+	if cycle.SelfMs != 0 || cycle.Calls != 0 {
+		t.Errorf("crawl.cycle virtual lane not empty: %+v (wall brackets must not leak)", cycle)
+	}
+	// The wall lane did observe the cycles.
+	if cyc := s.Get("crawl.cycle"); cyc.Brackets == 0 || cyc.WallNs <= 0 {
+		t.Errorf("crawl.cycle wall lane empty: %+v", cyc)
+	}
+}
+
+// TestProfileExportsDeterministic: identical crawls attribute identical
+// costs — every deterministic export form is byte-stable across runs.
+func TestProfileExportsDeterministic(t *testing.T) {
+	a, b := runWithProf(t, 250).Profile, runWithProf(t, 250).Profile
+	if a.TopK(0) != b.TopK(0) {
+		t.Error("TopK exports diverge across identical runs")
+	}
+	if a.Folded() != b.Folded() {
+		t.Error("folded exports diverge across identical runs")
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Error("JSON exports diverge across identical runs")
+	}
+}
+
+// TestProfilingInvisible is the twin discipline of the other pillars:
+// attaching the profiler must not change one byte of any other export —
+// corpus, metrics, traces, logs, or series.
+func TestProfilingInvisible(t *testing.T) {
+	run := func(withProf bool) (*Result, string) {
+		cfg := DefaultConfig()
+		cfg.MaxPages = 200
+		p := chaosPipeline(t, 40, chaosWeb)
+		rec := trace.NewRecorder(trace.DefaultConfig(7))
+		c := New(cfg, p.web, p.clf).
+			WithTrace(rec).
+			WithLog(evlog.NewSink(evlog.DefaultConfig(7))).
+			WithSeries(series.New(series.DefaultConfig()))
+		if withProf {
+			c.WithProf(prof.New(prof.Config{}))
+		}
+		return c.Run(defaultSeeds(t, p)), rec.Snapshot().Text()
+	}
+	plain, plainTraces := run(false)
+	profiled, profiledTraces := run(true)
+	if plain.Stats != profiled.Stats {
+		t.Error("stats diverge when profiling is on")
+	}
+	if plain.Metrics.Text() != profiled.Metrics.Text() {
+		t.Error("metric export diverges when profiling is on")
+	}
+	if plainTraces != profiledTraces {
+		t.Error("trace export diverges when profiling is on")
+	}
+	if plain.Logs.Logfmt() != profiled.Logs.Logfmt() {
+		t.Error("log export diverges when profiling is on")
+	}
+	if plain.Series.CSV() != profiled.Series.CSV() {
+		t.Error("series export diverges when profiling is on")
+	}
+	if profiled.Profile == nil || plain.Profile != nil {
+		t.Error("profile presence does not match the attached profiler")
+	}
+}
+
+// TestCheckpointResumeProfileExportIdentical: a crawl interrupted after
+// a few cycles and resumed in fresh objects exports a byte-identical
+// profile — the virtual lane rides the checkpoint, and the extra
+// checkpoint bracket stays in the (non-exported) wall lane.
+func TestCheckpointResumeProfileExportIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 250
+
+	p1 := chaosPipeline(t, 50, chaosWeb)
+	ref := New(cfg, p1.web, p1.clf).WithProf(prof.New(prof.Config{})).Run(defaultSeeds(t, p1))
+
+	p2 := chaosPipeline(t, 50, chaosWeb)
+	c := New(cfg, p2.web, p2.clf).WithProf(prof.New(prof.Config{}))
+	c.Seed(defaultSeeds(t, p2))
+	for i := 0; i < 3 && c.Step(); i++ {
+	}
+	raw, err := c.Checkpoint().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"profile"`) {
+		t.Fatal("checkpoint JSON carries no profile snapshot")
+	}
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := chaosPipeline(t, 50, chaosWeb)
+	rc, err := Resume(cfg, p3.web, p3.clf, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.WithProf(prof.New(prof.Config{})) // WithProf loads the checkpoint's snapshot
+	for rc.Step() {
+	}
+	got := rc.Finish()
+
+	if ref.Profile.TopK(0) != got.Profile.TopK(0) {
+		t.Fatalf("profile TopK diverges after resume:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			ref.Profile.TopK(0), got.Profile.TopK(0))
+	}
+	if ref.Profile.Folded() != got.Profile.Folded() {
+		t.Fatal("profile folded stacks diverge after resume")
+	}
+	refJSON, err := ref.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := got.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("profile JSON exports diverge after resume")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"webtextie/internal/crawler"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
@@ -50,6 +51,11 @@ type Result struct {
 	// one per-round sample stream per metric, already merged across shards
 	// on the makespan clock.
 	Series *series.Snapshot
+	// Profile is the fleet cost profile (nil when profiling was off):
+	// per-shard snapshots folded with prof.Merge in shard order, so
+	// virtual-lane stage costs sum across the fleet (worker time, like
+	// the merged crawler.virtual.ms gauge — not makespan).
+	Profile *prof.Snapshot
 	// PerShard holds each shard's own result, indexed by shard.
 	PerShard []*crawler.Result
 	// Rounds is the number of fleet supersteps executed.
@@ -136,6 +142,13 @@ func (r *Runner) Finish() *Result {
 	}
 	if r.series != nil {
 		out.Series = r.series.Snapshot()
+	}
+	if perShard[0].Profile != nil {
+		snaps := make([]*prof.Snapshot, len(perShard))
+		for i, res := range perShard {
+			snaps[i] = res.Profile
+		}
+		out.Profile = prof.Merge(snaps...)
 	}
 	return out
 }

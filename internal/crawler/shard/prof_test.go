@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"webtextie/internal/crawler"
+	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
+	"webtextie/internal/obs/trace"
+)
+
+// runShardedProf executes a budgeted sharded crawl with per-shard
+// profiling and returns the merged deterministic exports plus the
+// result.
+func runShardedProf(t *testing.T, e *env, shards, parallelism, maxPages int) (string, string, []byte, *Result) {
+	t.Helper()
+	cfg := Config{Crawl: crawler.DefaultConfig(), Shards: shards, Parallelism: parallelism}
+	cfg.Crawl.MaxPages = maxPages
+	r, err := New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WithProf(prof.Config{})
+	res := r.Run(e.seeds)
+	if res.Profile == nil {
+		t.Fatal("fleet with profilers produced no merged profile")
+	}
+	js, err := res.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Profile.TopK(0), res.Profile.Folded(), js, res
+}
+
+// TestFleetProfileDeterministicAcrossDoP: profilers are shard-scoped and
+// merged in shard order, so for a fixed shard count the merged profile
+// exports are byte-identical at any degree of parallelism.
+func TestFleetProfileDeterministicAcrossDoP(t *testing.T) {
+	e := newEnv(t, 120, nil)
+	const shards = 4
+	baseTopK, baseFolded, baseJSON, res := runShardedProf(t, e, shards, 1, 800)
+	fetch := res.Profile.Get("crawl.cycle.fetch")
+	if fetch == nil || fetch.Calls == 0 {
+		t.Fatalf("merged fetch scope unpopulated: %+v", fetch)
+	}
+	// Merged calls sum across shards: one per fleet-wide fetch attempt.
+	if want := res.Stats.Fetched + res.Stats.FetchErrors; fetch.Calls != int64(want) {
+		t.Errorf("merged fetch calls = %d, want %d fleet fetch attempts", fetch.Calls, want)
+	}
+	for _, dop := range []int{2, shards} {
+		topk, folded, js, _ := runShardedProf(t, e, shards, dop, 800)
+		if topk != baseTopK {
+			t.Errorf("DoP %d profile TopK diverges from DoP 1", dop)
+		}
+		if folded != baseFolded {
+			t.Errorf("DoP %d profile folded stacks diverge from DoP 1", dop)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("DoP %d profile JSON diverges from DoP 1", dop)
+		}
+	}
+}
+
+// TestFleetProfilingInvisible: attaching per-shard profilers must not
+// change any other export surface.
+func TestFleetProfilingInvisible(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	plain := runSharded(t, e, 3, 3, 300)
+	cfg := Config{Crawl: crawler.DefaultConfig(), Shards: 3, Parallelism: 3}
+	cfg.Crawl.MaxPages = 300
+	r, err := New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WithTrace(trace.DefaultConfig(7)).WithLog(evlog.DefaultConfig(7)).WithProf(prof.Config{})
+	res := r.Run(e.seeds)
+	if plain.corpus != res.CorpusManifest() {
+		t.Error("corpus manifest changes when fleet profiling is on")
+	}
+	if plain.metrics != res.Metrics.Text() {
+		t.Error("metric export changes when fleet profiling is on")
+	}
+	if plain.traces != res.Traces.Text() {
+		t.Error("trace export changes when fleet profiling is on")
+	}
+	if plain.logs != res.Logs.Logfmt() {
+		t.Error("log export changes when fleet profiling is on")
+	}
+}
+
+// TestFleetProfileIdenticalAfterResume: a fleet checkpointed at a round
+// barrier and resumed in fresh objects (at a different DoP) exports a
+// byte-identical merged profile — each shard's virtual lane rides its
+// embedded crawler checkpoint.
+func TestFleetProfileIdenticalAfterResume(t *testing.T) {
+	e := newEnv(t, 80, nil)
+	cfg := Config{Crawl: crawler.DefaultConfig(), Shards: 3, Parallelism: 2}
+	cfg.Crawl.MaxPages = 400
+
+	ref, err := New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := ref.WithProf(prof.Config{}).Run(e.seeds)
+
+	r, err := New(cfg, e.newWeb, e.clf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WithProf(prof.Config{})
+	r.Seed(e.seeds)
+	for i := 0; i < 3 && r.Round(); i++ {
+	}
+	cp, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedCfg := cfg
+	resumedCfg.Parallelism = 3
+	rr, err := Resume(resumedCfg, e.newWeb, e.clf, cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.WithProf(prof.Config{}) // each shard loads its checkpointed snapshot
+	for rr.Round() {
+	}
+	gotRes := rr.Finish()
+
+	if refRes.Profile.TopK(0) != gotRes.Profile.TopK(0) {
+		t.Fatalf("merged profile TopK diverges after resume:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			refRes.Profile.TopK(0), gotRes.Profile.TopK(0))
+	}
+	if refRes.Profile.Folded() != gotRes.Profile.Folded() {
+		t.Fatal("merged profile folded stacks diverge after resume")
+	}
+	refJSON, err := refRes.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := gotRes.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("merged profile JSON exports diverge after resume")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"webtextie/internal/ie/dict"
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 	"webtextie/internal/synthweb"
@@ -100,10 +101,11 @@ type Runner struct {
 	fenced   []bool
 	degraded []DegradedPartition
 
-	// traceCfg/logCfg/matchers remember the observability and extension
-	// wiring so RestartShard can re-attach it to a rebuilt shard.
+	// traceCfg/logCfg/profCfg/matchers remember the observability and
+	// extension wiring so RestartShard can re-attach it to a rebuilt shard.
 	traceCfg *trace.Config
 	logCfg   *evlog.Config
+	profCfg  *prof.Config
 	matchers map[textgen.EntityType]*dict.Matcher
 
 	// series is the fleet-level time-series recorder (nil = sampling
@@ -221,6 +223,21 @@ func (r *Runner) WithSeries(cfg series.Config) *Runner {
 
 // SeriesRecorder returns the fleet recorder (nil when sampling is off).
 func (r *Runner) SeriesRecorder() *series.Recorder { return r.series }
+
+// WithProf attaches one cost profiler per shard, all with cfg. Each
+// shard attributes its own virtual-clock stage costs — virtual time is
+// shard-scoped, so a fleet-level profiler would race and double-count —
+// and Finish folds the snapshots with prof.Merge in shard order, making
+// the merged profile byte-identical across DoP 1 vs N for a fixed shard
+// count. On a resumed runner each profiler loads its shard's checkpoint
+// snapshot. Returns the runner for chaining.
+func (r *Runner) WithProf(cfg prof.Config) *Runner {
+	r.profCfg = &cfg
+	for _, s := range r.shards {
+		s.c.WithProf(prof.New(cfg))
+	}
+	return r
+}
 
 // sampleSeries records one fleet sample at the current round barrier.
 // Fenced shards still contribute: their last barrier state is genuinely
@@ -429,6 +446,9 @@ func (r *Runner) RestartShard(i int, ckpt []byte) error {
 	}
 	if r.logCfg != nil {
 		c.WithLog(evlog.NewSink(*r.logCfg))
+	}
+	if r.profCfg != nil {
+		c.WithProf(prof.New(*r.profCfg))
 	}
 	if r.matchers != nil {
 		c.WithEntityMatchers(r.matchers)

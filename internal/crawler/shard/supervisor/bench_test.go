@@ -9,6 +9,12 @@
 // on. Sampling off must cost nothing (the gate in bench_pr9_test.go pins
 // it within 2% of BENCH_PR8); sampling on adds one registry merge per
 // round barrier, and its bench documents that price.
+//
+// The PR-10 benches rerun the plan once more with per-shard cost
+// profiling off and on. Profiling off must cost nothing (the gate in
+// bench_pr10_test.go pins it within 2% of BENCH_PR9); profiling on adds
+// two atomic adds per stage per cycle plus one snapshot merge at Finish,
+// and its bench documents that price.
 
 package supervisor
 
@@ -17,13 +23,15 @@ import (
 
 	"webtextie/internal/crawler"
 	"webtextie/internal/crawler/shard"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/synthweb"
 )
 
 // supervisedBenchPlan runs the shared 12k-page DoP-4 fleet plan, with or
-// without the fleet series recorder, and reports the gated metrics.
-func supervisedBenchPlan(b *testing.B, withSeries bool) {
+// without the fleet series recorder and cost profilers, and reports the
+// gated metrics.
+func supervisedBenchPlan(b *testing.B, withSeries, withProf bool) {
 	e := newEnv(b, 1, func(c *synthweb.Config) {
 		*c = synthweb.ScaledConfig(1, 36)
 	})
@@ -40,6 +48,9 @@ func supervisedBenchPlan(b *testing.B, withSeries bool) {
 		}
 		if withSeries {
 			r.WithSeries(series.DefaultConfig())
+		}
+		if withProf {
+			r.WithProf(prof.Config{})
 		}
 		sup := New(r, Config{RecoveryBudget: DefaultRecoveryBudget, Seed: 7})
 		if res, err = sup.Run(e.seeds); err != nil {
@@ -63,19 +74,33 @@ func supervisedBenchPlan(b *testing.B, withSeries bool) {
 		}
 		b.ReportMetric(float64(samples), "samples")
 	}
+	if withProf {
+		if res.Profile == nil || len(res.Profile.Scopes) == 0 {
+			b.Fatal("profiling-on bench produced no merged profile")
+		}
+		b.ReportMetric(float64(len(res.Profile.Scopes)), "scopes")
+	}
 	b.ReportMetric(float64(res.Stats.Fetched)*1000/float64(res.Stats.VirtualMs), "vdocs/s")
 	b.ReportMetric(float64(webPages), "webpages")
 	b.ReportMetric(float64(res.Stats.Fetched), "fetched")
 }
 
 func BenchmarkSupervisedShardCrawlDoP4(b *testing.B) {
-	supervisedBenchPlan(b, false)
+	supervisedBenchPlan(b, false, false)
 }
 
 func BenchmarkSupervisedShardCrawlSeriesOffDoP4(b *testing.B) {
-	supervisedBenchPlan(b, false)
+	supervisedBenchPlan(b, false, false)
 }
 
 func BenchmarkSupervisedShardCrawlSeriesOnDoP4(b *testing.B) {
-	supervisedBenchPlan(b, true)
+	supervisedBenchPlan(b, true, false)
+}
+
+func BenchmarkSupervisedShardCrawlProfOffDoP4(b *testing.B) {
+	supervisedBenchPlan(b, false, false)
+}
+
+func BenchmarkSupervisedShardCrawlProfOnDoP4(b *testing.B) {
+	supervisedBenchPlan(b, false, true)
 }

@@ -1,0 +1,63 @@
+package supervisor
+
+import (
+	"bytes"
+	"testing"
+
+	"webtextie/internal/obs/prof"
+	"webtextie/internal/synthweb"
+)
+
+// TestCrashRecoveryProfileByteIdentical: the cost-profile pillar rides
+// the fleet's recovery contract. A restarted shard rebuilds its crawler
+// from the last checkpoint — whose profile snapshot restores the virtual
+// lane exactly — and replays the lost round to the same attribution, so
+// a supervised run under a recovered crash schedule exports a merged
+// profile byte-identical to the fault-free unsupervised run's, at DoP 1
+// and 4. (The replayed round's extra wall-lane brackets never reach the
+// deterministic exports: TopK, folded stacks, and JSON read the virtual
+// lane only.)
+func TestCrashRecoveryProfileByteIdentical(t *testing.T) {
+	e := newEnv(t, 60, nil)
+	ref := newFleet(t, e, fleetCfg(4, 1)).WithProf(prof.Config{}).Run(e.seeds)
+	if ref.Profile == nil || len(ref.Profile.Scopes) == 0 {
+		t.Fatal("reference fleet retained no profile")
+	}
+	if ref.Rounds < 3 {
+		t.Fatalf("need >= 3 rounds to place the crash schedule, got %d", ref.Rounds)
+	}
+	refTopK, refFolded := ref.Profile.TopK(0), ref.Profile.Folded()
+	refJSON, err := ref.Profile.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := &synthweb.CrashPlan{Points: []synthweb.CrashPoint{
+		{Shard: 0, Round: 1, Attempts: 1},
+		{Shard: 1, Round: 2, Attempts: 1},
+	}}
+	for _, dop := range []int{1, 4} {
+		fleet := newFleet(t, e, fleetCfg(4, dop)).WithProf(prof.Config{})
+		sup := New(fleet, Config{RecoveryBudget: 3, Crash: crash, Seed: 7})
+		res, err := sup.Run(e.seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup.Report().Crashes == 0 {
+			t.Fatalf("DoP %d: crash schedule never fired", dop)
+		}
+		if got := res.Profile.TopK(0); got != refTopK {
+			t.Errorf("DoP %d: supervised profile TopK diverges from fault-free run:\n--- fault-free\n%s\n--- recovered\n%s",
+				dop, refTopK, got)
+		}
+		if res.Profile.Folded() != refFolded {
+			t.Errorf("DoP %d: supervised profile folded stacks diverge from fault-free run", dop)
+		}
+		js, err := res.Profile.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, refJSON) {
+			t.Errorf("DoP %d: supervised profile JSON diverges from fault-free run", dop)
+		}
+	}
+}

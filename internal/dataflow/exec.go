@@ -10,6 +10,7 @@ import (
 
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/trace"
 )
 
@@ -75,6 +76,13 @@ type ExecConfig struct {
 	// the tracer uses, and evlog retention is order-independent, so the
 	// exported log is byte-identical across DoP settings per seed.
 	Log *evlog.Sink
+	// Prof, when set, attributes execution cost per operator under
+	// dataflow.op.<name> scopes: every processed record charges one
+	// deterministic virtual-lane call plus a wall-lane bracket (real
+	// nanoseconds and, with prof.Config.Alloc, allocation deltas) around
+	// the operator invocation. Virtual-lane counts are DoP-independent
+	// under the Quarantine policy — the same caveat as Trace.
+	Prof *prof.Profiler
 }
 
 // DefaultExecConfig uses DoP 4.
@@ -414,6 +422,15 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 	for _, n := range p.nodes {
 		spanName[n.id] = trace.TraceName("dataflow.op", n.Op.Name)
 	}
+	// Profiler cost scopes per node, likewise through the sanctioned
+	// builder. A missing entry is the zero (disabled) Scope, so workers
+	// index unconditionally.
+	opScope := map[int]prof.Scope{}
+	if cfg.Prof != nil {
+		for _, n := range p.nodes {
+			opScope[n.id] = cfg.Prof.Scope(prof.ScopeName("dataflow.op", n.Op.Name))
+		}
+	}
 	// hopSlot keys a child span by (downstream node, emit index): the emit
 	// index is serial within one process() call, so span IDs are
 	// deterministic per record path regardless of worker interleaving.
@@ -449,6 +466,7 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 		nodeWG.Add(1)
 		go func(n *Node, nm *nodeMetrics) {
 			defer nodeWG.Done()
+			psc := opScope[n.id]
 			var workerWG sync.WaitGroup
 			for w := 0; w < cfg.DoP; w++ {
 				workerWG.Add(1)
@@ -464,12 +482,15 @@ func Execute(p *Plan, input []Record, cfg ExecConfig) (map[int][]Record, *ExecSt
 						}
 						inflight.Add(1)
 						sp := nm.latency.Start()
+						ph := psc.Enter()
 						emitIdx := 0
 						emit := func(rec Record) {
 							emitFrom(rec, item.tc, emitIdx)
 							emitIdx++
 						}
 						err := process(n, nm, cfg, item, emit, quar, lgOp)
+						ph.Exit()
+						psc.Add(1, 0)
 						sp.End()
 						item.tc.End(int64(n.id) + 1)
 						inflight.Add(-1)

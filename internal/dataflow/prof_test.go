@@ -1,0 +1,110 @@
+package dataflow
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"webtextie/internal/obs/prof"
+)
+
+// runProf executes the shared test plan with a per-operator profiler
+// attached and returns the profiler plus the canonical sink output.
+func runProf(t *testing.T, dop int) (*prof.Profiler, []string, *ExecStats) {
+	t.Helper()
+	cfg := DefaultExecConfig()
+	cfg.DoP = dop
+	cfg.Policy = Quarantine
+	p := cfg.Prof
+	if p == nil {
+		p = prof.New(prof.Config{})
+		cfg.Prof = p
+	}
+	res, st, err := Execute(testPlan(), input(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink []Record
+	for _, recs := range res {
+		sink = append(sink, recs...)
+	}
+	return p, canonical(sink), st
+}
+
+// TestExecProfilePerOperator: with a profiler attached the executor
+// attributes one virtual-lane call per record processed under
+// dataflow.op.<name>, and one wall bracket around each UDF invocation.
+func TestExecProfilePerOperator(t *testing.T) {
+	p, _, st := runProf(t, 4)
+	snap := p.Snapshot()
+	for i, want := range []struct {
+		scope string
+		node  int
+	}{
+		{"dataflow.op.src", 0},
+		{"dataflow.op.even", 1},
+		{"dataflow.op.mark", 2},
+		{"dataflow.op.crashy", 3},
+	} {
+		sd := snap.Get(want.scope)
+		if sd == nil {
+			t.Fatalf("scope %q missing from profile (case %d)", want.scope, i)
+		}
+		if sd.Calls != st.PerNode[want.node].In {
+			t.Errorf("%s: %d profiled calls, want the node's %d inputs", want.scope, sd.Calls, st.PerNode[want.node].In)
+		}
+		if sd.Brackets != sd.Calls {
+			t.Errorf("%s: %d wall brackets, want one per call (%d)", want.scope, sd.Brackets, sd.Calls)
+		}
+	}
+}
+
+// TestExecProfileDeterministicAcrossDoP: operator call attribution rides
+// the same DoP-equivalence contract as the node metrics, so the
+// deterministic exports are byte-identical at any parallelism.
+func TestExecProfileDeterministicAcrossDoP(t *testing.T) {
+	base, baseSink, _ := runProf(t, 1)
+	baseJSON, err := base.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dop := range []int{4, 16} {
+		p, sink, _ := runProf(t, dop)
+		if !reflect.DeepEqual(sink, baseSink) {
+			t.Fatalf("DoP %d sink diverges", dop)
+		}
+		snap := p.Snapshot()
+		if got := snap.TopK(0); got != base.Snapshot().TopK(0) {
+			t.Errorf("DoP %d operator profile TopK diverges from DoP 1:\n%s", dop, got)
+		}
+		js, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("DoP %d operator profile JSON diverges from DoP 1", dop)
+		}
+	}
+}
+
+// TestExecProfilingInvisible: attaching a profiler must not change the
+// execution results or stats.
+func TestExecProfilingInvisible(t *testing.T) {
+	cfg := DefaultExecConfig()
+	cfg.Policy = Quarantine
+	res, st, err := Execute(testPlan(), input(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain []Record
+	for _, recs := range res {
+		plain = append(plain, recs...)
+	}
+	_, sink, pst := runProf(t, cfg.DoP)
+	if !reflect.DeepEqual(canonical(plain), sink) {
+		t.Error("sink records change when operator profiling is on")
+	}
+	if !reflect.DeepEqual(st.PerNode, pst.PerNode) {
+		t.Errorf("per-node stats change when operator profiling is on:\n%+v\n%+v", st.PerNode, pst.PerNode)
+	}
+}

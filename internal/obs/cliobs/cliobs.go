@@ -18,6 +18,7 @@ import (
 	"webtextie/internal/obs/debugserv"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
@@ -33,6 +34,10 @@ type Flags struct {
 	SeriesOn    *bool
 	SeriesOut   *string
 	SeriesJSON  *string
+	ProfOn      *bool
+	ProfOut     *string
+	ProfFolded  *string
+	ProfTopK    *int
 	DebugAddr   *string
 }
 
@@ -41,7 +46,8 @@ type Flags struct {
 // FlagSet.
 func Names() []string {
 	return []string{"trace", "trace-out", "trace-chrome", "log", "log-out", "doctor",
-		"series", "series-out", "series-json", "debug-addr"}
+		"series", "series-out", "series-json",
+		"prof", "prof-out", "prof-folded", "prof-topk", "debug-addr"}
 }
 
 // Register installs the shared observability flags on a FlagSet.
@@ -56,7 +62,11 @@ func Register(fs *flag.FlagSet) *Flags {
 		SeriesOn:    fs.Bool("series", false, "attach the virtual-time metric series recorder"),
 		SeriesOut:   fs.String("series-out", "", "write the end-of-run series export (CSV) to FILE (implies -series)"),
 		SeriesJSON:  fs.String("series-json", "", "write the end-of-run series export (JSON) to FILE (implies -series)"),
-		DebugAddr:   fs.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /logs /doctor /timeseries /progress /debug/pprof) on HOST:PORT (implies -trace, -log, and -series)"),
+		ProfOn:      fs.Bool("prof", false, "attach the deterministic cost-attribution profiler"),
+		ProfOut:     fs.String("prof-out", "", "write the end-of-run cost profile (JSON) to FILE (implies -prof)"),
+		ProfFolded:  fs.String("prof-folded", "", "write the end-of-run cost profile (folded flame stacks) to FILE (implies -prof)"),
+		ProfTopK:    fs.Int("prof-topk", 10, "rows in the end-of-run profile top-k table (0 = all scopes)"),
+		DebugAddr:   fs.String("debug-addr", "", "serve the live debug endpoints (/metrics /traces /logs /doctor /timeseries /profile /progress /debug/pprof) on HOST:PORT (implies -trace, -log, -series, and -prof)"),
 	}
 }
 
@@ -66,6 +76,7 @@ type Setup struct {
 	Traces *trace.Recorder
 	Logs   *evlog.Sink
 	Series *series.Recorder
+	Prof   *prof.Profiler
 	f      *Flags
 }
 
@@ -83,7 +94,20 @@ func (f *Flags) Setup(seed uint64) *Setup {
 	if *f.SeriesOn || *f.SeriesOut != "" || *f.SeriesJSON != "" || *f.DebugAddr != "" {
 		s.Series = series.New(series.DefaultConfig())
 	}
+	if *f.ProfOn || *f.ProfOut != "" || *f.ProfFolded != "" || *f.DebugAddr != "" {
+		s.Prof = prof.New(prof.Config{})
+	}
 	return s
+}
+
+// ProfConfig returns the profiler configuration and whether profiling
+// is on at all — the form fleet commands need (each shard owns a
+// private profiler built from the config; see shard.Runner.WithProf).
+func (s *Setup) ProfConfig() (prof.Config, bool) {
+	if s.Prof == nil {
+		return prof.Config{}, false
+	}
+	return s.Prof.Config(), true
 }
 
 // Serve starts the live debug server when -debug-addr is set, wired to
@@ -98,6 +122,7 @@ func (s *Setup) Serve(progress func() any) (string, error) {
 		Traces:   s.Traces,
 		Logs:     s.Logs,
 		Series:   s.Series,
+		Prof:     s.Prof,
 		Progress: progress,
 	})
 	if err != nil {
@@ -127,15 +152,19 @@ func (s *Setup) Finish() (string, error) {
 	if s.Series != nil {
 		seriesSnap = s.Series.Snapshot()
 	}
-	return s.FinishWith(traceSnap, logSnap, seriesSnap, obs.Default().Snapshot())
+	var profSnap *prof.Snapshot
+	if s.Prof != nil {
+		profSnap = s.Prof.Snapshot()
+	}
+	return s.FinishWith(traceSnap, logSnap, seriesSnap, profSnap, obs.Default().Snapshot())
 }
 
 // FinishWith is Finish over caller-supplied snapshots: the same export
 // files, tallies, and -doctor report, but rendered from the given trace,
 // log, and series snapshots and diagnosing the given metric snapshot.
 // Nil pillar snapshots are treated as "flag off".
-func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, metrics obs.Snapshot) (string, error) {
-	return s.FinishWithDoctor(traceSnap, logSnap, seriesSnap, metrics, nil)
+func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, profSnap *prof.Snapshot, metrics obs.Snapshot) (string, error) {
+	return s.FinishWithDoctor(traceSnap, logSnap, seriesSnap, profSnap, metrics, nil)
 }
 
 // FinishWithDoctor is FinishWith with a separate doctor input: the
@@ -145,7 +174,7 @@ func (s *Setup) FinishWith(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, s
 // supervision events into the crawl export files (which must stay
 // byte-identical to an unsupervised run's). A nil diag diagnoses the
 // export snapshots themselves.
-func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, metrics obs.Snapshot, diag *doctor.Input) (string, error) {
+func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snapshot, seriesSnap *series.Snapshot, profSnap *prof.Snapshot, metrics obs.Snapshot, diag *doctor.Input) (string, error) {
 	var b strings.Builder
 	if traceSnap != nil {
 		counts := traceSnap.ErrClassCounts()
@@ -215,6 +244,32 @@ func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snaps
 			fmt.Fprintf(&b, "series export (JSON) written to %s\n", *s.f.SeriesJSON)
 		}
 	}
+	if profSnap != nil {
+		exp := profSnap.Export()
+		fmt.Fprintf(&b, "profile: %d scopes, %d virtual ms attributed\n",
+			len(exp.Scopes), exp.TotalVirtualMs)
+		for _, line := range strings.Split(strings.TrimSuffix(profSnap.TopK(*s.f.ProfTopK), "\n"), "\n") {
+			if line != "" {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+		}
+		if *s.f.ProfOut != "" {
+			blob, err := profSnap.JSON()
+			if err != nil {
+				return b.String(), err
+			}
+			if err := os.WriteFile(*s.f.ProfOut, blob, 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "profile export (JSON) written to %s\n", *s.f.ProfOut)
+		}
+		if *s.f.ProfFolded != "" {
+			if err := os.WriteFile(*s.f.ProfFolded, []byte(profSnap.Folded()), 0o644); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "profile export (folded) written to %s\n", *s.f.ProfFolded)
+		}
+	}
 	if *s.f.DoctorOn {
 		if diag == nil {
 			diag = &doctor.Input{
@@ -222,6 +277,7 @@ func (s *Setup) FinishWithDoctor(traceSnap *trace.Snapshot, logSnap *evlog.Snaps
 				Traces:  traceSnap,
 				Logs:    logSnap,
 				Series:  seriesSnap,
+				Profile: profSnap,
 			}
 		}
 		rep := doctor.Diagnose(*diag)

@@ -19,6 +19,7 @@ import (
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/doctor"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
@@ -34,6 +35,8 @@ type Options struct {
 	Logs *evlog.Sink
 	// Series backs /timeseries and feeds /doctor's time-aware rules.
 	Series *series.Recorder
+	// Prof backs /profile and feeds /doctor's cost rules.
+	Prof *prof.Profiler
 	// Progress backs /progress: called per request, must be safe to call
 	// concurrently with the workload, and its result must JSON-marshal.
 	Progress func() any
@@ -49,6 +52,7 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/trace", o.traceByID)
 	mux.HandleFunc("/logs", o.logs)
 	mux.HandleFunc("/timeseries", o.timeseries)
+	mux.HandleFunc("/profile", o.profile)
 	mux.HandleFunc("/doctor", o.doctor)
 	mux.HandleFunc("/progress", o.progress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -101,6 +105,7 @@ func (o Options) index(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("/trace?id=<hex>     one trace by ID\n")
 	b.WriteString("/logs               event log (?component= &level= &msg= &trace= &limit= &format=text|json|logfmt)\n")
 	b.WriteString("/timeseries         virtual-time metric series (?name= &width= &format=text|csv|json)\n")
+	b.WriteString("/profile            cost profile (?scope= &topk= &format=text|folded|json|wall)\n")
 	b.WriteString("/doctor             ranked crawl diagnosis (?severity= &rule= &format=json)\n")
 	b.WriteString("/progress           live workload progress (JSON)\n")
 	b.WriteString("/debug/pprof/       runtime profiles\n")
@@ -387,6 +392,45 @@ func (o Options) timeseries(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(s.TextWidth(width)))
+	}
+}
+
+// profile serves the cost-profiler pillar: the virtual-lane top-k
+// table, folded flame-graph stacks, and JSON export, plus the wall
+// lane's bracket totals.
+func (o Options) profile(w http.ResponseWriter, r *http.Request) {
+	if o.Prof == nil {
+		http.Error(w, "profiling off: no profiler attached", http.StatusNotFound)
+		return
+	}
+	format, err := checkFormat(r, "", "text", "folded", "json", "wall")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	topk := 20
+	if raw := q.Get("topk"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad topk %q (want a non-negative integer; 0 = all)", raw), http.StatusBadRequest)
+			return
+		}
+		topk = n
+	}
+	s := o.Prof.Snapshot().Narrow(q.Get("scope"))
+	switch format {
+	case "json":
+		writeJSONBlob(w, s.JSON)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.Folded()))
+	case "wall":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.WallText()))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.TopK(topk)))
 	}
 }
 

@@ -131,6 +131,7 @@ func TestLogsAndDoctorOff(t *testing.T) {
 // TestContentTypes pins the Content-Type of every endpoint and format.
 func TestContentTypes(t *testing.T) {
 	o, _ := logOptions()
+	o.Prof = sampleProf() // from debugserv_prof_test.go
 	pinned := o.Traces.Snapshot().Pinned()
 	id := pinned[0].ID.String()
 	h := Handler(o)
@@ -155,6 +156,10 @@ func TestContentTypes(t *testing.T) {
 		{"/logs?format=json", jsonCT},
 		{"/doctor", text},
 		{"/doctor?format=json", jsonCT},
+		{"/profile", text},
+		{"/profile?format=folded", text},
+		{"/profile?format=wall", text},
+		{"/profile?format=json", jsonCT},
 		{"/progress", jsonCT},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,105 @@
+package debugserv
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"webtextie/internal/obs/prof"
+)
+
+// sampleProf builds a profiler with a small crawl-stage tree: three
+// virtually-costed stages under a wall-bracketed cycle scope.
+func sampleProf() *prof.Profiler {
+	p := prof.New(prof.Config{})
+	h := p.Scope("crawl.cycle").Enter()
+	p.Scope("crawl.cycle.fetch").Add(10, 900)
+	p.Scope("crawl.cycle.filter").Add(8, 80)
+	p.Scope("crawl.cycle.classify").Add(6, 60)
+	h.Exit()
+	return p
+}
+
+// profOptions is sampleOptions plus the profiler pillar.
+func profOptions() Options {
+	o := sampleOptions()
+	o.Prof = sampleProf()
+	return o
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	h := Handler(profOptions())
+
+	// Text default: the top-k table, self-descending.
+	code, body := get(t, h, "/profile")
+	if code != 200 {
+		t.Fatalf("text status %d:\n%s", code, body)
+	}
+	for _, want := range []string{"SCOPE", "crawl.cycle.fetch", "TOTAL"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("text missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Index(body, "crawl.cycle.fetch") > strings.Index(body, "crawl.cycle.filter") {
+		t.Fatalf("top-k not self-descending:\n%s", body)
+	}
+
+	// topk limits the table rows (header + k rows + total).
+	code, body = get(t, h, "/profile?topk=1")
+	if code != 200 || strings.Contains(body, "crawl.cycle.filter") || !strings.Contains(body, "crawl.cycle.fetch") {
+		t.Fatalf("topk=1: %d\n%s", code, body)
+	}
+
+	// Scope narrowing.
+	code, body = get(t, h, "/profile?scope=classify")
+	if code != 200 || strings.Contains(body, "crawl.cycle.fetch") || !strings.Contains(body, "crawl.cycle.classify") {
+		t.Fatalf("scope filter: %d\n%s", code, body)
+	}
+
+	// Folded flame stacks: dots become semicolons, weights are self ms.
+	code, body = get(t, h, "/profile?format=folded")
+	if code != 200 || !strings.Contains(body, "crawl;cycle;fetch 900") {
+		t.Fatalf("folded: %d\n%s", code, body)
+	}
+
+	// JSON is the Export shape with self/cum derivation.
+	code, body = get(t, h, "/profile?format=json")
+	if code != 200 {
+		t.Fatalf("json status %d", code)
+	}
+	var exp struct {
+		TotalVirtualMs int64 `json:"total_virtual_ms"`
+		Scopes         []struct {
+			Name   string `json:"name"`
+			SelfMs int64  `json:"self_ms"`
+			CumMs  int64  `json:"cum_ms"`
+		} `json:"scopes"`
+	}
+	if err := json.Unmarshal([]byte(body), &exp); err != nil {
+		t.Fatal(err)
+	}
+	if exp.TotalVirtualMs != 1040 {
+		t.Fatalf("total_virtual_ms = %d, want 1040", exp.TotalVirtualMs)
+	}
+	for _, s := range exp.Scopes {
+		if s.Name == "crawl.cycle" && (s.SelfMs != 0 || s.CumMs != 1040) {
+			t.Fatalf("crawl.cycle self/cum = %d/%d, want 0/1040", s.SelfMs, s.CumMs)
+		}
+	}
+
+	// Wall lane: brackets and wall ms, no virtual numbers.
+	code, body = get(t, h, "/profile?format=wall")
+	if code != 200 || !strings.Contains(body, "crawl.cycle brackets=1") {
+		t.Fatalf("wall: %d\n%s", code, body)
+	}
+
+	// Off when no profiler is attached.
+	if code, _ := get(t, Handler(sampleOptions()), "/profile"); code != 404 {
+		t.Fatalf("without profiler: status %d, want 404", code)
+	}
+
+	// Listed on the index.
+	if _, body := get(t, h, "/"); !strings.Contains(body, "/profile") {
+		t.Fatal("index does not list /profile")
+	}
+}

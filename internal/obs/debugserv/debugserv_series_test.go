@@ -90,6 +90,7 @@ func TestTimeseriesEndpoint(t *testing.T) {
 func TestBadQueryParamsAreRejected(t *testing.T) {
 	o := seriesOptions()
 	o.Logs = sampleSink(0) // from debugserv_logs_test.go
+	o.Prof = sampleProf()  // from debugserv_prof_test.go
 	h := Handler(o)
 	bad := []string{
 		"/metrics?format=yaml",
@@ -109,6 +110,9 @@ func TestBadQueryParamsAreRejected(t *testing.T) {
 		"/timeseries?width=wide",
 		"/timeseries?width=0",
 		"/timeseries?width=-2",
+		"/profile?format=yaml",
+		"/profile?topk=ten",
+		"/profile?topk=-1",
 	}
 	for _, path := range bad {
 		if code, body := get(t, h, path); code != 400 {
@@ -122,8 +126,16 @@ func TestBadQueryParamsAreRejected(t *testing.T) {
 		"/logs?level=warn&limit=5&format=logfmt",
 		"/doctor?severity=warning&format=json",
 		"/timeseries?width=8&format=csv",
+		"/profile?topk=0&format=text",
+		"/profile?scope=crawl&format=folded",
 	}
 	for _, path := range good {
+		if code, _ := get(t, h, path); code != 200 {
+			t.Errorf("%s: status %d, want 200", path, code)
+		}
+	}
+	// The Go pprof mux rides the same handler; its pages must stay up.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
 		if code, _ := get(t, h, path); code != 200 {
 			t.Errorf("%s: status %d, want 200", path, code)
 		}

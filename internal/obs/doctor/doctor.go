@@ -24,6 +24,7 @@ import (
 
 	"webtextie/internal/obs"
 	"webtextie/internal/obs/evlog"
+	"webtextie/internal/obs/prof"
 	"webtextie/internal/obs/series"
 	"webtextie/internal/obs/trace"
 )
@@ -83,6 +84,13 @@ type Input struct {
 	Traces  *trace.Snapshot
 	Logs    *evlog.Snapshot
 	Series  *series.Snapshot
+	// Profile is the (possibly fleet-merged) cost profile — the fifth
+	// pillar (internal/obs/prof).
+	Profile *prof.Snapshot
+	// ShardProfiles holds the per-shard cost profiles of a fleet run, in
+	// shard order; nil for single-crawler runs. Cross-shard rules (stage
+	// cost skew) need the unmerged view.
+	ShardProfiles []*prof.Snapshot
 }
 
 // seriesPoints returns one series' raw sample stream, or nil when the
@@ -114,6 +122,15 @@ func (in Input) logTotal(lv evlog.Level, component string) uint64 {
 		return 0
 	}
 	return in.Logs.ComponentTotal(lv, component)
+}
+
+// profScope returns one scope's data from the merged profile, or nil
+// when the profile pillar (or that scope) is absent.
+func (in Input) profScope(name string) *prof.ScopeData {
+	if in.Profile == nil {
+		return nil
+	}
+	return in.Profile.Get(name)
 }
 
 // Finding is one diagnosed condition. Score in [0,1] grades magnitude

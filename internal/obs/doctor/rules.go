@@ -37,6 +37,9 @@ var rules = []func(Input) []Finding{
 	breakerOscillation,
 	frontierStarvationTrend,
 	throughputCliff,
+	// Profile-aware rules (profrules.go) — need the cost-profile pillar.
+	stageCostSkew,
+	checkpointOverheadDominance,
 }
 
 // harvestCollapse fires when the classifier rejects most of what the
